@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ */
+
+#ifndef HR_BENCH_COMMON_HH
+#define HR_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace hr
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_claim)
+{
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+} // namespace hr
+
+#endif // HR_BENCH_COMMON_HH

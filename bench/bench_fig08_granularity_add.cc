@@ -1,0 +1,91 @@
+/** Fig. 8 reproduction: racing-gadget granularity, ADD reference path. */
+
+#include "bench_common.hh"
+#include "gadgets/racing.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace hr;
+
+namespace
+{
+
+/**
+ * Smallest reference-path length (in ref ops) that beats the target
+ * path, i.e. flips the transient probe to absent; -1 if even the
+ * longest fitting baseline loses (ROB cap).
+ */
+int
+thresholdRefOps(Opcode target_op, int target_ops, Opcode ref_op,
+                int max_ref)
+{
+    int lo = 1, hi = max_ref, found = -1;
+    while (lo <= hi) {
+        const int mid = (lo + hi) / 2;
+        Machine machine(MachineConfig::effectiveWindowProfile());
+        TransientPaRaceConfig config;
+        config.refOp = ref_op;
+        config.refOps = mid;
+        TransientPaRace race(machine, config,
+                             TargetExpr::opChain(target_op, target_ops));
+        race.train();
+        if (!race.attackAndProbe()) {
+            found = mid; // baseline long enough to lose the race
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return found;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 8: target ops measured by an ADD reference path",
+           "slope ~= latency ratio (1 for add/lea, 3 for mul); "
+           "granularity 1-3 ops; ref path capped ~54 by the ROB");
+
+    Table table({"target ops", "ref ADDs (add)", "ref ADDs (mul)",
+                 "ref ADDs (lea)"});
+    Series add_series("add-target", "target op count", "ref ADDs");
+    for (int n = 2; n <= 40; n += 2) {
+        const int add_thr = thresholdRefOps(Opcode::Add, n,
+                                            Opcode::Add, 60);
+        const int mul_thr = thresholdRefOps(Opcode::Mul, n,
+                                            Opcode::Add, 60);
+        const int lea_thr = thresholdRefOps(Opcode::Lea, n,
+                                            Opcode::Add, 60);
+        auto cell = [](int v) {
+            return v < 0 ? std::string("cap") : Table::integer(v);
+        };
+        table.addRow({Table::integer(n), cell(add_thr), cell(mul_thr),
+                      cell(lea_thr)});
+        if (add_thr > 0)
+            add_series.add(n, add_thr);
+    }
+    table.print();
+    std::printf("\nadd-target slope: %.2f (paper: ~1)\n",
+                linearSlope(add_series.xs(), add_series.ys()));
+
+    // The ROB cap: a very slow expression cannot be out-raced once the
+    // baseline no longer fits the transient window.
+    int cap = -1;
+    for (int ref = 40; ref <= 70; ++ref) {
+        Machine machine(MachineConfig::effectiveWindowProfile());
+        TransientPaRaceConfig config;
+        config.refOps = ref;
+        TransientPaRace race(machine, config,
+                             TargetExpr::opChain(Opcode::Add, 500));
+        race.train();
+        if (!race.attackAndProbe()) {
+            cap = ref;
+            break;
+        }
+    }
+    std::printf("longest usable ADD ref path: %s (paper: 54)\n",
+                cap < 0 ? "<= window" : Table::integer(cap - 1).c_str());
+    return 0;
+}

@@ -1,0 +1,77 @@
+/** Fig. 9 reproduction: racing-gadget granularity, MUL reference path. */
+
+#include "bench_common.hh"
+#include "gadgets/racing.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace hr;
+
+namespace
+{
+
+int
+thresholdRefOps(Opcode target_op, int target_ops)
+{
+    int lo = 1, hi = 60, found = -1;
+    while (lo <= hi) {
+        const int mid = (lo + hi) / 2;
+        Machine machine(MachineConfig::effectiveWindowProfile());
+        TransientPaRaceConfig config;
+        config.refOp = Opcode::Mul;
+        config.refOps = mid;
+        TransientPaRace race(machine, config,
+                             TargetExpr::opChain(target_op, target_ops));
+        race.train();
+        if (!race.attackAndProbe()) {
+            found = mid;
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return found;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 9: target ops measured by a MUL reference path",
+           "MUL baselines extend the measurable range ~3x (to ~140 "
+           "ADD-equivalents) at coarser granularity; DIV counted with "
+           "slope ~latDiv/latMul");
+
+    Table table({"target ops", "ref MULs (add)", "ref MULs (div)"});
+    Series add_series("add-target", "target adds", "ref MULs");
+    Series div_series("div-target", "target divs", "ref MULs");
+    for (int n = 4; n <= 144; n += 10) {
+        const int add_thr = thresholdRefOps(Opcode::Add, n);
+        auto cell = [](int v) {
+            return v < 0 ? std::string("cap") : Table::integer(v);
+        };
+        std::string div_cell = "-";
+        if (n <= 40) {
+            const int div_thr = thresholdRefOps(Opcode::Div, n);
+            div_cell = cell(div_thr);
+            if (div_thr > 0)
+                div_series.add(n, div_thr);
+        }
+        table.addRow({Table::integer(n), cell(add_thr), div_cell});
+        if (add_thr > 0)
+            add_series.add(n, add_thr);
+    }
+    table.print();
+    std::printf("\nadd-target slope: %.2f MULs/add (paper: ~1/3)\n",
+                linearSlope(add_series.xs(), add_series.ys()));
+    std::printf("div-target slope: %.2f MULs/div (paper: ~4, the "
+                "latency ratio)\n",
+                linearSlope(div_series.xs(), div_series.ys()));
+    const double max_add = add_series.xs().empty()
+                               ? 0.0
+                               : add_series.xs().back();
+    std::printf("max measurable expression: ~%.0f adds (paper: ~140)\n",
+                max_add);
+    return 0;
+}

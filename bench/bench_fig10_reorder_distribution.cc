@@ -1,0 +1,67 @@
+/** Fig. 10 reproduction: reorder-magnifier timing distributions. */
+
+#include "bench_common.hh"
+#include "gadgets/plru_magnifier.hh"
+#include "gadgets/racing.hh"
+#include "util/stats.hh"
+
+using namespace hr;
+
+int
+main()
+{
+    banner("Fig. 10: reorder magnifier distributions after 4000 "
+           "pattern repetitions",
+           "almost no overlap between transmit-0 and transmit-1");
+
+    // Noisy machine (memory-latency jitter) so the distributions have
+    // realistic spread.
+    MachineConfig mc = MachineConfig::plruProfile();
+    mc.memory.l3Jitter = 8;
+    mc.memory.memJitter = 30;
+    Machine machine(mc);
+
+    auto config = PlruMagnifier::makeConfig(machine, 3, 4000);
+    PlruMagnifier magnifier(machine, config, PlruVariant::Reorder);
+
+    ReorderRaceConfig race_config;
+    race_config.addrA = config.a;
+    race_config.addrB = config.b;
+    race_config.refOps = 60; // the reference threshold T'
+
+    constexpr int kTrials = 120;
+    SampleStats slow_stats, fast_stats;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        for (bool transmit_one : {false, true}) {
+            // transmit 1 = fast expression (A first), 0 = slow.
+            const int expr_ops = transmit_one ? 150 : 5;
+            magnifier.prime();
+            ReorderRace race(machine, race_config,
+                             TargetExpr::opChain(Opcode::Add, expr_ops));
+            race.run();
+            machine.settle();
+            const double ms =
+                machine.toNs(magnifier.traverse().cycles) / 1e6;
+            (transmit_one ? fast_stats : slow_stats).add(ms);
+        }
+    }
+
+    const double lo = std::min(fast_stats.min(), slow_stats.min()) * 0.98;
+    const double hi = std::max(fast_stats.max(), slow_stats.max()) * 1.02;
+    Histogram fast_hist(lo, hi, 30), slow_hist(lo, hi, 30);
+    for (double x : fast_stats.samples())
+        fast_hist.add(x);
+    for (double x : slow_stats.samples())
+        slow_hist.add(x);
+
+    std::printf("transmit 1 (fast): mean %.4f ms  sd %.4f\n",
+                fast_stats.mean(), fast_stats.stddev());
+    std::printf("%s\n", fast_hist.render(40).c_str());
+    std::printf("transmit 0 (slow): mean %.4f ms  sd %.4f\n",
+                slow_stats.mean(), slow_stats.stddev());
+    std::printf("%s\n", slow_hist.render(40).c_str());
+    const double overlap = fast_hist.overlap(slow_hist);
+    std::printf("distribution overlap: %.3f (paper: almost none)\n",
+                overlap);
+    return overlap < 0.05 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+/** Section 7.2 summary: minimal racing-gadget granularity. */
+
+#include "bench_common.hh"
+#include "gadgets/racing.hh"
+#include "util/table.hh"
+
+using namespace hr;
+
+namespace
+{
+
+int
+thresholdRefOps(Opcode target_op, int target_ops, Opcode ref_op)
+{
+    int lo = 1, hi = 60, found = -1;
+    while (lo <= hi) {
+        const int mid = (lo + hi) / 2;
+        Machine machine(MachineConfig::effectiveWindowProfile());
+        TransientPaRaceConfig config;
+        config.refOp = ref_op;
+        config.refOps = mid;
+        TransientPaRace race(machine, config,
+                             TargetExpr::opChain(target_op, target_ops));
+        race.train();
+        if (!race.attackAndProbe()) {
+            found = mid;
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return found;
+}
+
+/** Longest run of target sizes mapping to the same threshold. */
+int
+granularity(Opcode target_op, Opcode ref_op, int max_n)
+{
+    int longest = 0, run = 0, last = -2;
+    for (int n = 1; n <= max_n; ++n) {
+        const int threshold = thresholdRefOps(target_op, n, ref_op);
+        if (threshold == last) {
+            ++run;
+        } else {
+            run = 1;
+            last = threshold;
+        }
+        longest = std::max(longest, run);
+    }
+    return longest;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Section 7.2: racing-gadget granularity summary",
+           "ADD reference: 1-3 ops for 1-cycle targets, 1-2 for MUL "
+           "targets => minimal granularity 1-6 cycles (0.5-3 ns)");
+
+    Table table({"target op", "ref op", "granularity (target ops)",
+                 "cycles/target-op"});
+    struct Case
+    {
+        Opcode target;
+        Opcode ref;
+        int lat;
+        int max_n;
+    };
+    const Case cases[] = {
+        {Opcode::Add, Opcode::Add, 1, 36},
+        {Opcode::Lea, Opcode::Add, 1, 36},
+        {Opcode::Mul, Opcode::Add, 3, 16},
+        {Opcode::Add, Opcode::Mul, 1, 40},
+        {Opcode::Div, Opcode::Mul, 12, 4},
+    };
+    int worst_cycles = 0;
+    for (const Case &c : cases) {
+        const int g = granularity(c.target, c.ref, c.max_n);
+        table.addRow({opcodeName(c.target), opcodeName(c.ref),
+                      Table::integer(g), Table::integer(g * c.lat)});
+        if (c.ref == Opcode::Add)
+            worst_cycles = std::max(worst_cycles, g * c.lat);
+    }
+    table.print();
+    std::printf("\nminimal granularity with ADD reference paths: "
+                "%d cycles = %.1f ns at 2 GHz (paper: 1-6 cycles)\n",
+                worst_cycles, worst_cycles / 2.0);
+    return worst_cycles <= 6 ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+/** Design ablation: magnifier strength across replacement policies. */
+
+#include "bench_common.hh"
+#include "gadgets/arbitrary_magnifier.hh"
+#include "util/table.hh"
+
+using namespace hr;
+
+int
+main()
+{
+    banner("Ablation: arbitrary-replacement magnifier vs L1 policy",
+           "the chain reaction is policy-independent (section 6.3); "
+           "random replacement is noise-bounded in this model because "
+           "restoring prefetch fills evict already-restored lines");
+
+    Table table({"policy", "delta @40 reps (us)", "delta @160 reps (us)",
+                 "growth"});
+    for (PolicyKind policy : {PolicyKind::Lru, PolicyKind::Nru,
+                              PolicyKind::Srrip, PolicyKind::Random}) {
+        double d40 = 0, d160 = 0;
+        for (int repeats : {40, 160}) {
+            MachineConfig mc = MachineConfig::randomL1Profile();
+            mc.memory.l1.policy = policy;
+            Machine machine(mc);
+            ArbitraryMagnifierConfig config;
+            config.repeats = repeats;
+            ArbitraryMagnifier magnifier(machine, config);
+            const double us = machine.toUs(magnifier.measureDelta());
+            (repeats == 40 ? d40 : d160) = us;
+        }
+        table.addRow({policyKindName(policy), Table::num(d40, 2),
+                      Table::num(d160, 2),
+                      d160 > 2.5 * d40 ? "sustained" : "bounded"});
+    }
+    table.print();
+    return 0;
+}

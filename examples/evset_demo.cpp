@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Eviction-set demo: build a minimal LLC eviction set for a target
+ * address using only the Hacky-Racers timer as a clock — the attack
+ * primitive SharedArrayBuffer removal was supposed to prevent.
+ */
+
+#include <cstdio>
+
+#include "attacks/evset.hh"
+
+using namespace hr;
+
+int
+main()
+{
+    MachineConfig mc = MachineConfig::plruProfile();
+    mc.memory.l3.numSets = 256; // small LLC so the demo runs in seconds
+    mc.memory.l3.assoc = 16;
+    mc.memory.l3.policy = PolicyKind::Lru;
+    Machine machine(mc);
+
+    EvSetConfig config;
+    EvictionSetGenerator generator(machine, config);
+
+    const Addr target = 0x7654'3040;
+    std::printf("target: 0x%llx (LLC set %d, known only to us — the "
+                "attacker sees just the page offset)\n",
+                static_cast<unsigned long long>(target),
+                machine.hierarchy().l3().setIndex(target));
+
+    EvSetResult result = generator.build(target);
+
+    std::printf("\nsuccess: %s, %zu lines, %llu timer queries, "
+                "%.1f ms simulated\n",
+                result.success ? "yes" : "no", result.set.size(),
+                static_cast<unsigned long long>(result.timerQueries),
+                machine.toNs(result.cycles) / 1e6);
+    std::printf("eviction set (all should map to set %d):\n",
+                machine.hierarchy().l3().setIndex(target));
+    for (Addr addr : result.set) {
+        std::printf("  0x%llx -> set %d\n",
+                    static_cast<unsigned long long>(addr),
+                    machine.hierarchy().l3().setIndex(addr));
+    }
+
+    // Use it: evict the target without ever touching it.
+    machine.warm(target, 1);
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr addr : result.set)
+            machine.warm(addr, 1);
+    std::printf("\nafter traversing the set, target cache level: %d "
+                "(0 = evicted)\n", machine.probeLevel(target));
+    return result.success ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#include "attacks/flush_reload.hh"
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+FlushReloadRepetition::FlushReloadRepetition(
+    Machine &machine, const FlushReloadConfig &config)
+    : machine_(machine), config_(config)
+{
+}
+
+RepetitionGadget
+FlushReloadRepetition::makeGadget(bool same_addr, bool racing)
+{
+    const Addr victim_addr =
+        same_addr ? config_.probeAddr : config_.otherAddr;
+
+    // Stage 1: evict — flush the probe line (an eviction-set traversal
+    // in a browser; modelled by the clflush-like harness primitive so
+    // the stage itself has constant cost).
+    RepetitionGadget::Stage evict;
+    evict.name = "evict";
+    {
+        ProgramBuilder builder("fr_evict");
+        RegId r = builder.movImm(0);
+        builder.opChain(Opcode::Add, 40, r, 1); // fixed eviction work
+        builder.halt();
+        evict.program = builder.take();
+    }
+    evict.setup = [probe = config_.probeAddr](Machine &machine) {
+        machine.flushLine(probe);
+    };
+
+    // Stage 2: load — the victim's access (same or different line).
+    RepetitionGadget::Stage load;
+    load.name = "load";
+    if (racing) {
+        load.program = makeConstantTimeStage(
+            TargetExpr::loadLatency(victim_addr), Opcode::Add,
+            config_.envelopeOps, config_.syncAddr, "fr_load_raced");
+        load.setup = [sync = config_.syncAddr](Machine &machine) {
+            machine.flushLine(sync);
+        };
+    } else {
+        ProgramBuilder builder("fr_load");
+        builder.loadAbsolute(victim_addr);
+        builder.halt();
+        load.program = builder.take();
+    }
+
+    // Stage 3: reload — the attacker's probe access.
+    RepetitionGadget::Stage reload;
+    reload.name = "reload";
+    {
+        ProgramBuilder builder("fr_reload");
+        builder.loadAbsolute(config_.probeAddr);
+        builder.halt();
+        reload.program = builder.take();
+    }
+
+    return RepetitionGadget(machine_,
+                            {std::move(evict), std::move(load),
+                             std::move(reload)});
+}
+
+FlushReloadOutcome
+FlushReloadRepetition::runVariant(bool racing)
+{
+    FlushReloadOutcome outcome;
+    machine_.warm(config_.otherAddr, 1);
+    RepetitionGadget same = makeGadget(true, racing);
+    outcome.sameAddr = same.run(config_.rounds);
+    machine_.warm(config_.otherAddr, 1);
+    RepetitionGadget diff = makeGadget(false, racing);
+    outcome.diffAddr = diff.run(config_.rounds);
+    return outcome;
+}
+
+FlushReloadOutcome
+FlushReloadRepetition::runPlain()
+{
+    return runVariant(false);
+}
+
+FlushReloadOutcome
+FlushReloadRepetition::runWithRacingGadget()
+{
+    return runVariant(true);
+}
+
+} // namespace hr

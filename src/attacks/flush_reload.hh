@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Flush+reload repetition study (paper section 7.1, Fig. 7).
+ *
+ * Demonstrates that naive repetition of a flush+reload round leaks no
+ * total-time signal — the victim-load stage's timing anti-correlates
+ * with the reload stage's and cancels it — and that hiding the load
+ * stage inside a constant-time racing envelope restores the signal.
+ */
+
+#ifndef HR_ATTACKS_FLUSH_RELOAD_HH
+#define HR_ATTACKS_FLUSH_RELOAD_HH
+
+#include "gadgets/repetition.hh"
+
+namespace hr
+{
+
+/** Configuration of the repetition study. */
+struct FlushReloadConfig
+{
+    Addr probeAddr = 0x600'0000;  ///< the shared line being probed
+    Addr otherAddr = 0x608'0000;  ///< victim's alternative (kept warm)
+    Addr syncAddr = 0x100'0000;   ///< for the racing envelope
+    int rounds = 200;
+    int envelopeOps = 260;        ///< baseline > worst-case load time
+};
+
+/** One experiment outcome: per-stage time stacks for both cases. */
+struct FlushReloadOutcome
+{
+    StageBreakdown sameAddr; ///< victim accessed the probe line
+    StageBreakdown diffAddr; ///< victim accessed a different line
+
+    /** Total-time signal (cycles; what a coarse timer accumulates). */
+    std::int64_t
+    totalSignal() const
+    {
+        return static_cast<std::int64_t>(diffAddr.total()) -
+               static_cast<std::int64_t>(sameAddr.total());
+    }
+};
+
+/** The flush+reload repetition harness. */
+class FlushReloadRepetition
+{
+  public:
+    FlushReloadRepetition(Machine &machine,
+                          const FlushReloadConfig &config);
+
+    /** Plain repetition (Fig. 7a): stages timed as-is. */
+    FlushReloadOutcome runPlain();
+
+    /**
+     * Repetition with the victim-load stage wrapped in a racing
+     * envelope (Fig. 7b): its duration becomes constant.
+     */
+    FlushReloadOutcome runWithRacingGadget();
+
+  private:
+    Machine &machine_;
+    FlushReloadConfig config_;
+
+    FlushReloadOutcome runVariant(bool racing);
+    RepetitionGadget makeGadget(bool same_addr, bool racing);
+};
+
+} // namespace hr
+
+#endif // HR_ATTACKS_FLUSH_RELOAD_HH

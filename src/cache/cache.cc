@@ -1,0 +1,216 @@
+#include "cache/cache.hh"
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    fatalIf(config_.numSets <= 0 ||
+            (config_.numSets & (config_.numSets - 1)) != 0,
+            config_.name + ": numSets must be a positive power of two");
+    fatalIf(config_.lineBytes <= 0 ||
+            (config_.lineBytes & (config_.lineBytes - 1)) != 0,
+            config_.name + ": lineBytes must be a positive power of two");
+    fatalIf(config_.assoc <= 0, config_.name + ": assoc must be positive");
+
+    lines_.resize(static_cast<std::size_t>(config_.numSets) *
+                  static_cast<std::size_t>(config_.assoc));
+    policy_.reserve(static_cast<std::size_t>(config_.numSets));
+    for (int s = 0; s < config_.numSets; ++s) {
+        policy_.push_back(makePolicy(config_.policy, config_.assoc,
+                                     config_.rngSeed +
+                                     static_cast<std::uint64_t>(s)));
+    }
+}
+
+Cache::Line &
+Cache::lineAt(int set, int way)
+{
+    return lines_[static_cast<std::size_t>(set) *
+                  static_cast<std::size_t>(config_.assoc) +
+                  static_cast<std::size_t>(way)];
+}
+
+const Cache::Line &
+Cache::lineAt(int set, int way) const
+{
+    return lines_[static_cast<std::size_t>(set) *
+                  static_cast<std::size_t>(config_.assoc) +
+                  static_cast<std::size_t>(way)];
+}
+
+int
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<int>(
+        (addr / static_cast<Addr>(config_.lineBytes)) %
+        static_cast<Addr>(config_.numSets));
+}
+
+Addr
+Cache::lineAddr(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(config_.lineBytes - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / static_cast<Addr>(config_.lineBytes) /
+           static_cast<Addr>(config_.numSets);
+}
+
+Addr
+Cache::rebuild(Addr tag, int set) const
+{
+    return (tag * static_cast<Addr>(config_.numSets) +
+            static_cast<Addr>(set)) *
+           static_cast<Addr>(config_.lineBytes);
+}
+
+int
+Cache::probe(Addr addr) const
+{
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (int w = 0; w < config_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag)
+            return w;
+    }
+    return -1;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const int way = probe(addr);
+    if (way >= 0) {
+        ++stats_.hits;
+        policy_[static_cast<std::size_t>(setIndex(addr))]->touch(way);
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+std::optional<Addr>
+Cache::fill(Addr addr)
+{
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    auto &pol = *policy_[static_cast<std::size_t>(set)];
+
+    // Already present (e.g. a racing fill was merged): just touch.
+    for (int w = 0; w < config_.assoc; ++w) {
+        Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag) {
+            pol.touch(w);
+            return std::nullopt;
+        }
+    }
+
+    ++stats_.fills;
+
+    // Prefer an invalid way.
+    for (int w = 0; w < config_.assoc; ++w) {
+        Line &line = lineAt(set, w);
+        if (!line.valid) {
+            line.valid = true;
+            line.tag = tag;
+            pol.touch(w);
+            return std::nullopt;
+        }
+    }
+
+    const int victim = pol.victim();
+    Line &line = lineAt(set, victim);
+    panicIf(!line.valid, "fill: victim way invalid");
+    const Addr evicted = rebuild(line.tag, set);
+    line.tag = tag;
+    pol.touch(victim);
+    ++stats_.evictions;
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (int w = 0; w < config_.assoc; ++w) {
+        Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            policy_[static_cast<std::size_t>(set)]->invalidate(w);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+    for (int s = 0; s < config_.numSets; ++s) {
+        policy_[static_cast<std::size_t>(s)] =
+            makePolicy(config_.policy, config_.assoc,
+                       config_.rngSeed + static_cast<std::uint64_t>(s));
+    }
+}
+
+std::vector<Addr>
+Cache::residentsOfSet(Addr addr) const
+{
+    const int set = setIndex(addr);
+    std::vector<Addr> out;
+    for (int w = 0; w < config_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid)
+            out.push_back(rebuild(line.tag, set));
+    }
+    return out;
+}
+
+std::optional<Addr>
+Cache::evictionCandidate(Addr addr) const
+{
+    const int set = setIndex(addr);
+    // victim() is const in effect for all policies except Random, where
+    // peeking would perturb the stream; clone first.
+    auto pol = policy_[static_cast<std::size_t>(set)]->clone();
+    const int way = pol->victim();
+    const Line &line = lineAt(set, way);
+    if (!line.valid)
+        return std::nullopt;
+    return rebuild(line.tag, set);
+}
+
+std::string
+Cache::setStateString(Addr addr) const
+{
+    const int set = setIndex(addr);
+    std::string out = "{";
+    for (int w = 0; w < config_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (w)
+            out += ' ';
+        if (line.valid) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(
+                              rebuild(line.tag, set)));
+            out += buf;
+        } else {
+            out += '-';
+        }
+    }
+    out += "} " + policy_[static_cast<std::size_t>(set)]->stateString();
+    return out;
+}
+
+} // namespace hr

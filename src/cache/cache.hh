@@ -1,0 +1,128 @@
+/**
+ * @file
+ * A single set-associative cache level: tag array + per-set replacement
+ * state. Purely a presence/timing model — data values live in the
+ * Machine's memory map, which is sound because the simulated caches are
+ * coherent with a single core.
+ */
+
+#ifndef HR_CACHE_CACHE_HH
+#define HR_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Geometry and policy of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    int numSets = 64;
+    int assoc = 8;
+    int lineBytes = 64;
+    PolicyKind policy = PolicyKind::TreePlru;
+    std::uint64_t rngSeed = 1; ///< seed for Random replacement streams
+
+    int sizeBytes() const { return numSets * assoc * lineBytes; }
+};
+
+/** Hit/miss counters for one level. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+};
+
+/**
+ * One cache level.
+ *
+ * lookup()/touch()/fill() are separated so the hierarchy can model
+ * fills that land later than their lookup (data-return order), which is
+ * the mechanism the reorder racing gadget transmits through.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats(); }
+
+    /** Set index for an address. */
+    int setIndex(Addr addr) const;
+
+    /** Line-aligned address. */
+    Addr lineAddr(Addr addr) const;
+
+    /**
+     * Probe without any state update or stats.
+     * @return way holding the line, or -1.
+     */
+    int probe(Addr addr) const;
+
+    /** True if the line is present (no state change). */
+    bool contains(Addr addr) const { return probe(addr) >= 0; }
+
+    /**
+     * Access for a (potential) hit: updates stats and, on hit,
+     * replacement state.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /**
+     * Install a line, evicting if necessary. Invalid ways fill first;
+     * otherwise the policy chooses. Touches the new line.
+     * @return evicted line address, if any.
+     */
+    std::optional<Addr> fill(Addr addr);
+
+    /** Drop a line if present. @return true if it was present. */
+    bool invalidate(Addr addr);
+
+    /** Drop everything (keeps replacement objects, resets their state). */
+    void flushAll();
+
+    /** Addresses currently resident in the set holding addr. */
+    std::vector<Addr> residentsOfSet(Addr addr) const;
+
+    /** Line address currently in the policy's victim way (if valid). */
+    std::optional<Addr> evictionCandidate(Addr addr) const;
+
+    /** Replacement-state string of the set holding addr. */
+    std::string setStateString(Addr addr) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    CacheStats stats_;
+    std::vector<Line> lines_; // numSets * assoc, row-major
+    std::vector<std::unique_ptr<ReplacementPolicy>> policy_; // per set
+
+    Line &lineAt(int set, int way);
+    const Line &lineAt(int set, int way) const;
+    Addr tagOf(Addr addr) const;
+    Addr rebuild(Addr tag, int set) const;
+};
+
+} // namespace hr
+
+#endif // HR_CACHE_CACHE_HH

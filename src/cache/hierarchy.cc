@@ -1,0 +1,191 @@
+#include "cache/hierarchy.hh"
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : config_(config), l1_(config.l1), l2_(config.l2), l3_(config.l3),
+      rng_(config.rngSeed)
+{
+    fatalIf(config_.l1.lineBytes != config_.l2.lineBytes ||
+            config_.l2.lineBytes != config_.l3.lineBytes,
+            "Hierarchy: line size must match across levels");
+    fatalIf(config_.l1Mshrs <= 0, "Hierarchy: need at least one MSHR");
+}
+
+AccessOutcome
+Hierarchy::access(Addr addr, Cycle now, AccessKind kind)
+{
+    (void)kind; // stores are write-allocate, prefetches fetch like loads
+    applyFillsUpTo(now);
+
+    const Addr line = l1_.lineAddr(addr);
+    AccessOutcome out;
+
+    if (l1_.probe(line) >= 0) {
+        l1_.access(line); // counts the hit, updates replacement state
+        out.readyCycle = now + config_.l1Latency;
+        out.level = 1;
+        return out;
+    }
+
+    // Coalesce with an in-flight request for the same line.
+    auto it = inflight_.find(line);
+    if (it != inflight_.end()) {
+        l1_.access(line); // counts the demand miss
+        out.readyCycle = std::max(it->second.ready,
+                                  now + config_.l1Latency);
+        out.level = it->second.level;
+        out.merged = true;
+        return out;
+    }
+
+    // Out of MSHRs: refuse without perturbing stats — the core will
+    // retry this access, and retries are not demand misses.
+    if (static_cast<int>(inflight_.size()) >= config_.l1Mshrs) {
+        out.accepted = false;
+        return out;
+    }
+    l1_.access(line); // counts the demand miss
+
+    Cycle ready;
+    int level;
+    if (l2_.access(line)) {
+        ready = now + config_.l2Latency;
+        level = 2;
+    } else if (l3_.access(line)) {
+        ready = now + config_.l3Latency +
+                (config_.l3Jitter ? rng_.below(config_.l3Jitter + 1) : 0);
+        level = 3;
+    } else {
+        ++memAccesses_;
+        ready = now + config_.memLatency +
+                (config_.memJitter ? rng_.below(config_.memJitter + 1) : 0);
+        level = 4;
+    }
+
+    Inflight fill{ready, nextSeq_++, line, level};
+    inflight_.emplace(line, fill);
+    fillQueue_.push(fill);
+
+    out.readyCycle = ready;
+    out.level = level;
+    return out;
+}
+
+void
+Hierarchy::applyFill(const Inflight &fill)
+{
+    // The line is installed in every level above where it was found
+    // (data-return path). Hits in a level leave it resident there.
+    if (fill.level >= 4) {
+        auto evicted = l3_.fill(fill.line);
+        if (evicted && config_.inclusiveL3) {
+            l1_.invalidate(*evicted);
+            l2_.invalidate(*evicted);
+        }
+    }
+    if (fill.level >= 3)
+        l2_.fill(fill.line);
+    l1_.fill(fill.line);
+}
+
+void
+Hierarchy::applyFillsUpTo(Cycle now)
+{
+    while (!fillQueue_.empty() && fillQueue_.top().ready <= now) {
+        const Inflight fill = fillQueue_.top();
+        fillQueue_.pop();
+        // Entry may have been cancelled by flushLine: only apply if the
+        // inflight map still holds this exact request.
+        auto it = inflight_.find(fill.line);
+        if (it == inflight_.end() || it->second.seq != fill.seq)
+            continue;
+        inflight_.erase(it);
+        applyFill(fill);
+    }
+}
+
+void
+Hierarchy::drainAllFills()
+{
+    while (!fillQueue_.empty()) {
+        const Inflight fill = fillQueue_.top();
+        fillQueue_.pop();
+        auto it = inflight_.find(fill.line);
+        if (it == inflight_.end() || it->second.seq != fill.seq)
+            continue;
+        inflight_.erase(it);
+        applyFill(fill);
+    }
+}
+
+std::optional<Cycle>
+Hierarchy::nextFillCycle() const
+{
+    if (fillQueue_.empty())
+        return std::nullopt;
+    return fillQueue_.top().ready;
+}
+
+int
+Hierarchy::probeLevel(Addr addr) const
+{
+    const Addr line = l1_.lineAddr(addr);
+    if (l1_.contains(line))
+        return 1;
+    if (l2_.contains(line))
+        return 2;
+    if (l3_.contains(line))
+        return 3;
+    return 0;
+}
+
+void
+Hierarchy::flushLine(Addr addr)
+{
+    const Addr line = l1_.lineAddr(addr);
+    l1_.invalidate(line);
+    l2_.invalidate(line);
+    l3_.invalidate(line);
+    inflight_.erase(line); // cancels any pending fill (seq check skips it)
+}
+
+void
+Hierarchy::flushAll()
+{
+    l1_.flushAll();
+    l2_.flushAll();
+    l3_.flushAll();
+    inflight_.clear();
+    while (!fillQueue_.empty())
+        fillQueue_.pop();
+}
+
+void
+Hierarchy::warm(Addr addr, int upto_level)
+{
+    const Addr line = l1_.lineAddr(addr);
+    auto evicted = l3_.fill(line);
+    if (evicted && config_.inclusiveL3) {
+        l1_.invalidate(*evicted);
+        l2_.invalidate(*evicted);
+    }
+    if (upto_level <= 2)
+        l2_.fill(line);
+    if (upto_level <= 1)
+        l1_.fill(line);
+}
+
+void
+Hierarchy::clearStats()
+{
+    l1_.clearStats();
+    l2_.clearStats();
+    l3_.clearStats();
+    memAccesses_ = 0;
+}
+
+} // namespace hr

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Multi-level cache hierarchy with MSHRs and delayed, ordered fills.
+ *
+ * Fills are applied in data-return order (ready cycle, then issue
+ * sequence), so the relative completion order of two racing loads turns
+ * into relative cache-insertion order — the exact state the paper's
+ * non-transient reorder gadget (section 5.2) transmits through.
+ */
+
+#ifndef HR_CACHE_HIERARCHY_HH
+#define HR_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Kinds of memory access the core issues. */
+enum class AccessKind : std::uint8_t { Load, Store, Prefetch };
+
+/** Configuration of the whole memory subsystem. */
+struct HierarchyConfig
+{
+    CacheConfig l1{"l1", 64, 8, 64, PolicyKind::TreePlru, 11};
+    CacheConfig l2{"l2", 512, 8, 64, PolicyKind::Lru, 22};
+    CacheConfig l3{"l3", 4096, 16, 64, PolicyKind::Lru, 33};
+
+    Cycle l1Latency = 4;    ///< load-to-use on an L1 hit
+    Cycle l2Latency = 14;   ///< total latency on an L2 hit
+    Cycle l3Latency = 44;   ///< total latency on an L3 hit
+    Cycle memLatency = 210; ///< total latency on a full miss
+
+    /** Uniform extra cycles [0, jitter] added to L3/memory trips. */
+    Cycle l3Jitter = 0;
+    Cycle memJitter = 0;
+
+    int l1Mshrs = 10;       ///< max outstanding L1 misses
+    bool inclusiveL3 = true;
+
+    std::uint64_t rngSeed = 7; ///< jitter stream seed
+};
+
+/** Result of issuing a memory access. */
+struct AccessOutcome
+{
+    bool accepted = true; ///< false: out of MSHRs, retry later
+    Cycle readyCycle = 0; ///< when the data (or line) is available
+    int level = 0;        ///< 1..3 = cache level, 4 = memory
+    bool merged = false;  ///< coalesced onto an in-flight miss
+};
+
+/**
+ * The memory-side model the out-of-order core talks to.
+ *
+ * Data values are not stored here — only presence and timing. The
+ * Machine keeps the architectural memory image.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    const HierarchyConfig &config() const { return config_; }
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return l3_; }
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+
+    std::uint64_t memAccesses() const { return memAccesses_; }
+
+    /**
+     * Issue an access at cycle @p now.
+     *
+     * Applies all fills due at or before @p now first, so lookups always
+     * see up-to-date state. May refuse (no MSHR) — the core retries.
+     */
+    AccessOutcome access(Addr addr, Cycle now, AccessKind kind);
+
+    /** Apply every pending fill with ready <= now (in return order). */
+    void applyFillsUpTo(Cycle now);
+
+    /** Apply all pending fills regardless of time (end-of-run drain). */
+    void drainAllFills();
+
+    /** Cycle of the next pending fill, if any (for event skipping). */
+    std::optional<Cycle> nextFillCycle() const;
+
+    /** Number of in-flight line requests. */
+    std::size_t inflightCount() const { return inflight_.size(); }
+
+    /** Highest level containing the line: 1, 2, 3, or 0 if nowhere. */
+    int probeLevel(Addr addr) const;
+
+    /**
+     * Invalidate a line everywhere (clflush-like; used by the harness
+     * between attack phases). Cancels any in-flight fill of the line.
+     */
+    void flushLine(Addr addr);
+
+    /** Invalidate everything and forget in-flight requests. */
+    void flushAll();
+
+    /**
+     * Test/setup helper: install a line instantly into all levels from
+     * L3 up to @p upto_level (1 = into L1/L2/L3, 3 = only L3).
+     */
+    void warm(Addr addr, int upto_level = 1);
+
+    /** Clear all per-level stats counters. */
+    void clearStats();
+
+  private:
+    struct Inflight
+    {
+        Cycle ready;
+        std::uint64_t seq;
+        Addr line;
+        int level; ///< where the data was found
+    };
+
+    struct FillOrder
+    {
+        bool
+        operator()(const Inflight &a, const Inflight &b) const
+        {
+            if (a.ready != b.ready)
+                return a.ready > b.ready;
+            return a.seq > b.seq;
+        }
+    };
+
+    HierarchyConfig config_;
+    Cache l1_, l2_, l3_;
+    Rng rng_;
+    std::uint64_t memAccesses_ = 0;
+    std::uint64_t nextSeq_ = 0;
+
+    /** In-flight requests keyed by L1 line address. */
+    std::map<Addr, Inflight> inflight_;
+    std::priority_queue<Inflight, std::vector<Inflight>, FillOrder>
+        fillQueue_;
+
+    void applyFill(const Inflight &fill);
+};
+
+} // namespace hr
+
+#endif // HR_CACHE_HIERARCHY_HH

@@ -1,0 +1,28 @@
+#include "core/branch_predictor.hh"
+
+namespace hr
+{
+
+bool
+BranchPredictor::predict(std::uint64_t key) const
+{
+    auto it = counters_.find(key);
+    const std::uint8_t c = it == counters_.end() ? kInit : it->second;
+    return c >= 2;
+}
+
+void
+BranchPredictor::update(std::uint64_t key, bool taken)
+{
+    auto [it, inserted] = counters_.try_emplace(key, kInit);
+    std::uint8_t &c = it->second;
+    if (taken) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+} // namespace hr

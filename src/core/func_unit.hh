@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional-unit pools with latency and initiation-interval modelling.
+ *
+ * The initiation interval (reciprocal throughput) is what makes the
+ * divider "not fully pipelined" — the resource the paper's
+ * arithmetic-operation-only magnifier gadget (section 6.4) contends on.
+ */
+
+#ifndef HR_CORE_FUNC_UNIT_HH
+#define HR_CORE_FUNC_UNIT_HH
+
+#include <optional>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Static description of one functional-unit class. */
+struct FuConfig
+{
+    int count = 1;     ///< number of identical units
+    Cycle latency = 1; ///< result latency
+    Cycle initInterval = 1; ///< cycles before a unit accepts the next op
+};
+
+/**
+ * A pool of identical units. tryIssue() finds a free unit, reserves it
+ * for the initiation interval, and returns the completion cycle.
+ */
+class FuncUnitPool
+{
+  public:
+    explicit FuncUnitPool(const FuConfig &config);
+
+    const FuConfig &config() const { return config_; }
+
+    /**
+     * Attempt to start an operation now.
+     * @return completion cycle, or nullopt if every unit is busy.
+     */
+    std::optional<Cycle> tryIssue(Cycle now);
+
+    /** Earliest cycle at which some unit will be free. */
+    Cycle nextFree() const;
+
+    /** Forget reservations (pipeline flush/drain). */
+    void reset();
+
+  private:
+    FuConfig config_;
+    std::vector<Cycle> freeAt_; // per unit
+};
+
+} // namespace hr
+
+#endif // HR_CORE_FUNC_UNIT_HH

@@ -1,0 +1,682 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+PerfCounters
+PerfCounters::operator-(const PerfCounters &o) const
+{
+    PerfCounters d;
+    d.cycles = cycles - o.cycles;
+    d.committedInstrs = committedInstrs - o.committedInstrs;
+    d.committedLoads = committedLoads - o.committedLoads;
+    d.committedStores = committedStores - o.committedStores;
+    d.squashedInstrs = squashedInstrs - o.squashedInstrs;
+    d.branches = branches - o.branches;
+    d.mispredicts = mispredicts - o.mispredicts;
+    d.interrupts = interrupts - o.interrupts;
+    for (int i = 0; i < 6; ++i)
+        d.issuedByClass[i] = issuedByClass[i] - o.issuedByClass[i];
+    d.noCommitCycles = noCommitCycles - o.noCommitCycles;
+    d.robFullStalls = robFullStalls - o.robFullStalls;
+    return d;
+}
+
+double
+PerfCounters::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(committedInstrs) /
+           static_cast<double>(cycles);
+}
+
+namespace
+{
+
+/** True if the op architecturally writes its dst register. */
+bool
+writesReg(const Instruction &inst)
+{
+    if (inst.dst == kNoReg)
+        return false;
+    switch (inst.op) {
+      case Opcode::Store:
+      case Opcode::Prefetch:
+      case Opcode::Branch:
+      case Opcode::Jump:
+      case Opcode::Halt:
+      case Opcode::Nop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+OooCore::OooCore(const CoreConfig &config, Hierarchy &hierarchy,
+                 MemoryImage &memory, BranchPredictor &predictor)
+    : config_(config), hierarchy_(hierarchy), memory_(memory),
+      predictor_(predictor)
+{
+    fatalIf(config_.robSize < 4, "OooCore: robSize too small");
+    const FuConfig *fu_configs[6] = {
+        &config_.intAlu, &config_.intMul, &config_.fpDiv,
+        &config_.memRead, &config_.memWrite, &config_.branchU};
+    for (int i = 0; i < 6; ++i) {
+        poolStorage_[i] = std::make_unique<FuncUnitPool>(*fu_configs[i]);
+        pools_[i] = poolStorage_[i].get();
+    }
+    if (config_.interruptInterval > 0)
+        nextInterrupt_ = config_.interruptInterval;
+}
+
+OooCore::RobEntry *
+OooCore::findEntry(std::uint64_t seq)
+{
+    auto it = bySeq_.find(seq);
+    return it == bySeq_.end() ? nullptr : it->second;
+}
+
+std::int64_t
+OooCore::srcValue(const RobEntry &entry, int slot) const
+{
+    return entry.srcVal[slot];
+}
+
+std::int64_t
+OooCore::computeAlu(const RobEntry &entry) const
+{
+    const Instruction &inst = entry.inst;
+    const std::int64_t v0 = entry.srcVal[0];
+    const std::int64_t rhs =
+        inst.src1 != kNoReg ? entry.srcVal[1] : inst.imm;
+    switch (inst.op) {
+      case Opcode::MovImm: return inst.imm;
+      case Opcode::Add: return v0 + rhs;
+      case Opcode::Sub: return v0 - rhs;
+      case Opcode::Mul: return v0 * rhs;
+      case Opcode::Div: return rhs == 0 ? 0 : v0 / rhs;
+      case Opcode::And: return v0 & rhs;
+      case Opcode::Or: return v0 | rhs;
+      case Opcode::Xor: return v0 ^ rhs;
+      case Opcode::Shl: return v0 << (rhs & 63);
+      case Opcode::Shr:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(v0) >> (rhs & 63));
+      case Opcode::Lea:
+        return static_cast<std::int64_t>(computeEa(entry));
+      case Opcode::Branch:
+        return ((v0 != 0) != inst.invert) ? 1 : 0;
+      case Opcode::Rdtsc:
+        return static_cast<std::int64_t>(cycle_);
+      default:
+        return 0;
+    }
+}
+
+Addr
+OooCore::computeEa(const RobEntry &entry) const
+{
+    const Instruction &inst = entry.inst;
+    std::int64_t ea = inst.imm;
+    if (inst.src0 != kNoReg)
+        ea += entry.srcVal[0] * inst.scale0;
+    if (inst.src1 != kNoReg)
+        ea += entry.srcVal[1] * inst.scale1;
+    return static_cast<Addr>(ea);
+}
+
+void
+OooCore::setupRun(const Program &program,
+                  const std::vector<std::pair<RegId, std::int64_t>>
+                      &initial_regs)
+{
+    fatalIf(program.id == 0,
+            "OooCore::run: program has no id (run it via a Machine)");
+    program_ = &program;
+
+    const std::size_t nregs = std::max<std::size_t>(program.numRegs, 1);
+    regfile_.assign(nregs, 0);
+    for (const auto &[reg, value] : initial_regs) {
+        fatalIf(reg >= nregs, "initial reg out of range");
+        regfile_[reg] = value;
+    }
+    renameTable_.assign(nregs, nullptr);
+
+    rob_.clear();
+    bySeq_.clear();
+    events_ = {};
+    for (auto &q : readyQueue_)
+        q = {};
+    replayQueue_.clear();
+    fetchPc_ = 0;
+    fetchStallUntil_ = cycle_;
+    halted_ = false;
+    draining_ = false;
+    inflightStores_ = 0;
+    inflightBranches_ = 0;
+    iqOccupancy_ = 0;
+
+    if (config_.interruptInterval > 0 && nextInterrupt_ <= cycle_)
+        nextInterrupt_ = cycle_ + config_.interruptInterval;
+}
+
+void
+OooCore::markReady(RobEntry &entry)
+{
+    entry.status = Status::Ready;
+    const std::uint64_t key =
+        config_.readyOrderIssue ? readyStamp_++ : entry.seq;
+    readyQueue_[static_cast<int>(entry.inst.fuClass())].push(
+        {key, entry.seq});
+}
+
+void
+OooCore::resolveEaIfReady(RobEntry &entry)
+{
+    // Address generation is decoupled from data (STA/STD split): a
+    // store's EA resolves as soon as its address sources are ready,
+    // even if the store data is still pending, so younger loads are
+    // not conservatively blocked on store data.
+    if (entry.eaValid || !isMemOp(entry.inst.op))
+        return;
+    // A source with scale 0 is an ordering-only dependence: it gates
+    // issue but contributes nothing to the address.
+    const bool src0_ok =
+        entry.srcProducer[0] == kNoSeq || entry.inst.scale0 == 0;
+    const bool src1_ok =
+        entry.srcProducer[1] == kNoSeq || entry.inst.scale1 == 0;
+    if (src0_ok && src1_ok) {
+        entry.ea = computeEa(entry);
+        entry.eaValid = true;
+    }
+}
+
+void
+OooCore::wakeConsumers(RobEntry &producer)
+{
+    for (std::uint64_t consumer_seq : producer.consumers) {
+        RobEntry *consumer = findEntry(consumer_seq);
+        if (!consumer)
+            continue; // squashed
+        for (int slot = 0; slot < 3; ++slot) {
+            if (consumer->srcProducer[slot] == producer.seq) {
+                consumer->srcVal[slot] = producer.value;
+                consumer->srcProducer[slot] = kNoSeq;
+                --consumer->pendingSrcs;
+            }
+        }
+        resolveEaIfReady(*consumer);
+        if (consumer->pendingSrcs == 0 &&
+            consumer->status == Status::Waiting) {
+            markReady(*consumer);
+        }
+    }
+    producer.consumers.clear();
+}
+
+void
+OooCore::resolveBranch(RobEntry &entry)
+{
+    const bool taken = entry.value != 0;
+    const auto key =
+        BranchPredictor::makeKey(program_->id, entry.pc);
+    predictor_.update(key, taken);
+    if (taken != entry.predictedTaken) {
+        ++counters_.mispredicts;
+        const std::int32_t correct_pc =
+            taken ? entry.inst.target : entry.pc + 1;
+        squashAfter(entry.seq, correct_pc);
+    }
+}
+
+void
+OooCore::squashAfter(std::uint64_t seq, std::int32_t new_pc)
+{
+    while (!rob_.empty() && rob_.back()->seq > seq) {
+        RobEntry &victim = *rob_.back();
+        ++counters_.squashedInstrs;
+        if (victim.inst.op == Opcode::Store)
+            --inflightStores_;
+        if (victim.inst.op == Opcode::Branch &&
+            victim.status != Status::Completed) {
+            --inflightBranches_;
+        }
+        if (victim.status == Status::Waiting ||
+            victim.status == Status::Ready) {
+            --iqOccupancy_;
+        }
+        bySeq_.erase(victim.seq);
+        rob_.pop_back();
+        // Events, ready-queue entries, and in-flight cache fills for the
+        // squashed instruction are removed lazily (seq lookups fail) —
+        // crucially, the cache fill itself still completes: transient
+        // fills persist, the property the P/A racing gadget relies on.
+    }
+
+    // Rebuild the rename table from the surviving entries.
+    std::fill(renameTable_.begin(), renameTable_.end(), nullptr);
+    for (auto &entry : rob_) {
+        if (writesReg(entry->inst))
+            renameTable_[entry->inst.dst] = entry.get();
+    }
+
+    fetchPc_ = new_pc;
+    fetchStallUntil_ = cycle_ + config_.mispredictPenalty;
+}
+
+bool
+OooCore::processCompletions()
+{
+    bool work = false;
+    while (!events_.empty() && events_.top().cycle <= cycle_) {
+        const Event ev = events_.top();
+        events_.pop();
+        RobEntry *entry = findEntry(ev.seq);
+        if (!entry || entry->status != Status::Issued)
+            continue; // squashed (or stale)
+        if (entry->inst.op == Opcode::Load && !entry->forwarded)
+            entry->value = memory_.read(entry->ea);
+        entry->status = Status::Completed;
+        wakeConsumers(*entry);
+        if (entry->inst.op == Opcode::Branch) {
+            --inflightBranches_;
+            resolveBranch(*entry);
+        }
+        work = true;
+    }
+    return work;
+}
+
+bool
+OooCore::tryIssueMemOp(RobEntry &entry)
+{
+    if (!entry.eaValid) {
+        entry.ea = computeEa(entry);
+        entry.eaValid = true;
+    }
+    const Opcode op = entry.inst.op;
+
+    if (op == Opcode::Store) {
+        auto done = pools_[static_cast<int>(FuClass::MemWrite)]->tryIssue(
+            cycle_);
+        if (!done)
+            return false;
+        entry.value = entry.srcVal[2]; // store data travels in slot 2
+        events_.push({*done, entry.seq});
+        ++counters_.issuedByClass[static_cast<int>(FuClass::MemWrite)];
+        return true;
+    }
+
+    // Loads must respect older stores (conservative disambiguation).
+    if (op == Opcode::Load && inflightStores_ > 0) {
+        const RobEntry *forward_from = nullptr;
+        for (const auto &older : rob_) {
+            if (older->seq >= entry.seq)
+                break;
+            if (older->inst.op != Opcode::Store)
+                continue;
+            if (!older->eaValid)
+                return false; // unresolved older store: wait
+            if (MemoryImage::wordAddr(older->ea) ==
+                MemoryImage::wordAddr(entry.ea)) {
+                forward_from = older.get();
+            }
+        }
+        if (forward_from) {
+            if (forward_from->status != Status::Completed)
+                return false; // store data not ready yet
+            entry.forwarded = true;
+            entry.value = forward_from->value;
+            events_.push({cycle_ + 1, entry.seq});
+            ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
+            return true;
+        }
+    }
+
+    // Delay-on-miss: speculative loads (an unresolved older branch
+    // exists) that would miss the L1 are held until non-speculative.
+    if (config_.delayOnMiss && op == Opcode::Load &&
+        inflightBranches_ > 0) {
+        bool older_branch = false;
+        for (const auto &other : rob_) {
+            if (other->seq >= entry.seq)
+                break;
+            if (other->inst.op == Opcode::Branch &&
+                other->status != Status::Completed) {
+                older_branch = true;
+                break;
+            }
+        }
+        if (older_branch &&
+            !hierarchy_.l1().contains(hierarchy_.l1().lineAddr(
+                entry.ea))) {
+            return false; // replay until the branch resolves
+        }
+    }
+
+    auto port = pools_[static_cast<int>(FuClass::MemRead)]->tryIssue(
+        cycle_);
+    if (!port)
+        return false;
+
+    const AccessKind kind =
+        op == Opcode::Prefetch ? AccessKind::Prefetch : AccessKind::Load;
+    const AccessOutcome outcome = hierarchy_.access(entry.ea, cycle_, kind);
+    if (!outcome.accepted)
+        return false; // out of MSHRs, retry
+
+    // Software prefetches retire without waiting for data (section
+    // 6.3.1: they never block the pipeline).
+    const Cycle done =
+        op == Opcode::Prefetch ? cycle_ + 1 : outcome.readyCycle;
+    events_.push({done, entry.seq});
+    ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
+    return true;
+}
+
+bool
+OooCore::issueStage()
+{
+    int issued = 0;
+    bool work = false;
+
+    // Memory-op replays first (they are the oldest waiters).
+    if (!replayQueue_.empty()) {
+        std::vector<std::uint64_t> retry;
+        retry.swap(replayQueue_);
+        for (std::uint64_t seq : retry) {
+            RobEntry *entry = findEntry(seq);
+            if (!entry || entry->status != Status::Ready)
+                continue;
+            if (issued < config_.issueWidth && tryIssueMemOp(*entry)) {
+                entry->status = Status::Issued;
+                --iqOccupancy_;
+                ++issued;
+                work = true;
+            } else {
+                replayQueue_.push_back(seq);
+            }
+        }
+    }
+
+    static constexpr FuClass kOrder[6] = {
+        FuClass::BranchU, FuClass::MemRead, FuClass::MemWrite,
+        FuClass::IntAlu, FuClass::IntMul, FuClass::FpDiv};
+
+    for (FuClass cls : kOrder) {
+        auto &queue = readyQueue_[static_cast<int>(cls)];
+        while (issued < config_.issueWidth && !queue.empty()) {
+            const std::uint64_t seq = queue.top().second;
+            RobEntry *entry = findEntry(seq);
+            if (!entry || entry->status != Status::Ready) {
+                queue.pop(); // stale (squashed or re-routed)
+                continue;
+            }
+            if (isMemOp(entry->inst.op)) {
+                queue.pop();
+                if (tryIssueMemOp(*entry)) {
+                    entry->status = Status::Issued;
+                    --iqOccupancy_;
+                    ++issued;
+                    work = true;
+                } else {
+                    replayQueue_.push_back(seq);
+                }
+                continue;
+            }
+            auto done = pools_[static_cast<int>(cls)]->tryIssue(cycle_);
+            if (!done)
+                break; // no unit free in this class this cycle
+            queue.pop();
+            entry->value = computeAlu(*entry);
+            entry->status = Status::Issued;
+            --iqOccupancy_;
+            events_.push({*done, entry->seq});
+            ++counters_.issuedByClass[static_cast<int>(cls)];
+            ++issued;
+            work = true;
+        }
+    }
+    return work;
+}
+
+bool
+OooCore::dispatchStage()
+{
+    if (draining_ || cycle_ < fetchStallUntil_)
+        return false;
+
+    bool work = false;
+    const auto code_size =
+        static_cast<std::int32_t>(program_->code.size());
+
+    for (int n = 0; n < config_.fetchWidth; ++n) {
+        if (fetchPc_ >= code_size)
+            break;
+        if (static_cast<int>(rob_.size()) >= config_.robSize) {
+            ++counters_.robFullStalls;
+            break;
+        }
+        if (iqOccupancy_ >= config_.effectiveIqSize())
+            break;
+
+        const Instruction &inst = program_->code[fetchPc_];
+        auto entry = std::make_unique<RobEntry>();
+        entry->seq = nextSeq_++;
+        entry->pc = fetchPc_;
+        entry->inst = inst;
+        entry->srcProducer[0] = kNoSeq;
+        entry->srcProducer[1] = kNoSeq;
+        entry->srcProducer[2] = kNoSeq;
+
+        // Next fetch pc (possibly speculative).
+        switch (inst.op) {
+          case Opcode::Branch: {
+            const auto key = BranchPredictor::makeKey(program_->id,
+                                                      fetchPc_);
+            entry->predictedTaken = predictor_.predict(key);
+            fetchPc_ = entry->predictedTaken ? inst.target : fetchPc_ + 1;
+            break;
+          }
+          case Opcode::Jump:
+            fetchPc_ = inst.target;
+            break;
+          case Opcode::Halt:
+            fetchPc_ = code_size; // stop fetching
+            break;
+          default:
+            ++fetchPc_;
+        }
+
+        // Rename: capture sources. Stores read their data via slot 2.
+        RegId srcs[3] = {inst.src0, inst.src1, kNoReg};
+        if (inst.op == Opcode::Store)
+            srcs[2] = inst.dst;
+        for (int slot = 0; slot < 3; ++slot) {
+            const RegId reg = srcs[slot];
+            if (reg == kNoReg)
+                continue;
+            RobEntry *producer = renameTable_[reg];
+            if (!producer) {
+                entry->srcVal[slot] = regfile_[reg];
+            } else if (producer->status == Status::Completed) {
+                entry->srcVal[slot] = producer->value;
+            } else {
+                entry->srcProducer[slot] = producer->seq;
+                producer->consumers.push_back(entry->seq);
+                ++entry->pendingSrcs;
+            }
+        }
+
+        if (writesReg(inst))
+            renameTable_[inst.dst] = entry.get();
+        if (inst.op == Opcode::Store)
+            ++inflightStores_;
+        if (inst.op == Opcode::Branch)
+            ++inflightBranches_;
+
+        resolveEaIfReady(*entry);
+        if (entry->pendingSrcs == 0)
+            markReady(*entry);
+        ++iqOccupancy_;
+
+        bySeq_.emplace(entry->seq, entry.get());
+        rob_.push_back(std::move(entry));
+        work = true;
+    }
+    return work;
+}
+
+bool
+OooCore::commitStage()
+{
+    bool committed_any = false;
+    for (int n = 0; n < config_.commitWidth && !rob_.empty(); ++n) {
+        RobEntry &head = *rob_.front();
+        if (head.status != Status::Completed)
+            break;
+
+        const Instruction &inst = head.inst;
+        if (writesReg(inst)) {
+            regfile_[inst.dst] = head.value;
+            if (renameTable_[inst.dst] == &head)
+                renameTable_[inst.dst] = nullptr;
+        }
+        switch (inst.op) {
+          case Opcode::Store:
+            memory_.write(head.ea, head.value);
+            hierarchy_.access(head.ea, cycle_, AccessKind::Store);
+            --inflightStores_;
+            ++counters_.committedStores;
+            break;
+          case Opcode::Load:
+            ++counters_.committedLoads;
+            break;
+          case Opcode::Branch:
+          case Opcode::Jump:
+            ++counters_.branches;
+            break;
+          case Opcode::Halt:
+            halted_ = true;
+            break;
+          default:
+            break;
+        }
+        ++counters_.committedInstrs;
+        bySeq_.erase(head.seq);
+        rob_.pop_front();
+        committed_any = true;
+        if (halted_)
+            break;
+    }
+    if (!committed_any && !rob_.empty())
+        ++counters_.noCommitCycles;
+    return committed_any;
+}
+
+void
+OooCore::serviceInterrupt()
+{
+    counters_.cycles += config_.interruptOverhead;
+    cycle_ += config_.interruptOverhead;
+    ++counters_.interrupts;
+    nextInterrupt_ = cycle_ + config_.interruptInterval;
+    draining_ = false;
+    fetchStallUntil_ = std::max(fetchStallUntil_, cycle_);
+}
+
+Cycle
+OooCore::nextWakeCycle() const
+{
+    Cycle next = ~Cycle{0};
+    if (!events_.empty())
+        next = std::min(next, events_.top().cycle);
+    if (!replayQueue_.empty()) {
+        if (auto fill = hierarchy_.nextFillCycle())
+            next = std::min(next, *fill);
+    }
+    const bool fetch_pending =
+        !draining_ &&
+        fetchPc_ < static_cast<std::int32_t>(program_->code.size());
+    if (fetch_pending && fetchStallUntil_ > cycle_)
+        next = std::min(next, fetchStallUntil_);
+    return next;
+}
+
+RunResult
+OooCore::run(const Program &program,
+             const std::vector<std::pair<RegId, std::int64_t>>
+                 &initial_regs,
+             Cycle max_cycles)
+{
+    setupRun(program, initial_regs);
+
+    RunResult result;
+    result.startCycle = cycle_;
+    const PerfCounters before = counters_;
+    const Cycle deadline = cycle_ + max_cycles;
+
+    for (;;) {
+        if (draining_ && rob_.empty())
+            serviceInterrupt();
+
+        bool work = false;
+        work |= processCompletions();
+        work |= issueStage();
+        work |= dispatchStage();
+        work |= commitStage();
+
+        if (halted_)
+            break;
+
+        if (config_.interruptInterval > 0 && !draining_ &&
+            cycle_ >= nextInterrupt_) {
+            draining_ = true;
+        }
+
+        const bool fetch_exhausted =
+            fetchPc_ >= static_cast<std::int32_t>(program.code.size());
+        if (rob_.empty() && fetch_exhausted && !draining_)
+            break;
+
+        // Advance time, skipping idle stretches.
+        Cycle target = cycle_ + 1;
+        if (!work && !(draining_ && rob_.empty())) {
+            const Cycle wake = nextWakeCycle();
+            if (wake == ~Cycle{0}) {
+                if (rob_.empty() && !fetch_exhausted &&
+                    fetchStallUntil_ <= cycle_) {
+                    // Fetch can proceed next cycle.
+                } else if (rob_.empty()) {
+                    // Only a fetch stall remains; handled above via
+                    // nextWakeCycle, so reaching here means done.
+                } else {
+                    panic("OooCore: deadlock (ROB stuck with no events)");
+                }
+            } else {
+                target = std::max(target, wake);
+            }
+        }
+        if (!rob_.empty())
+            counters_.noCommitCycles += target - cycle_ - 1;
+        counters_.cycles += target - cycle_;
+        cycle_ = target;
+
+        fatalIf(cycle_ > deadline, "OooCore::run: cycle limit exceeded");
+    }
+
+    hierarchy_.applyFillsUpTo(cycle_);
+    result.endCycle = cycle_;
+    result.halted = halted_;
+    result.counters = counters_ - before;
+    return result;
+}
+
+} // namespace hr

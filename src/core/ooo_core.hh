@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Cycle-level out-of-order core model.
+ *
+ * Models exactly the mechanisms Hacky Racers exploits:
+ *  - instruction-level parallelism between data-independent paths;
+ *  - a finite reorder buffer whose capacity bounds the race window;
+ *  - transient execution past predicted branches, with squash on
+ *    mispredict — but cache fills of squashed loads persist;
+ *  - functional units with latency and initiation-interval contention;
+ *  - MSHR-limited memory-level parallelism;
+ *  - periodic timer interrupts that drain the pipeline (the mechanism
+ *    behind Fig. 12's saturation).
+ *
+ * The cycle loop is event-skipping: idle stretches (e.g. a 200-cycle
+ * memory stall) are jumped over, so cost scales with instruction count.
+ */
+
+#ifndef HR_CORE_OOO_CORE_HH
+#define HR_CORE_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/branch_predictor.hh"
+#include "core/func_unit.hh"
+#include "isa/program.hh"
+#include "util/memory_image.hh"
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Core microarchitectural parameters (defaults: Coffee-Lake-like). */
+struct CoreConfig
+{
+    int fetchWidth = 4;
+    int issueWidth = 8;
+    int commitWidth = 4;
+    int robSize = 224;
+    /**
+     * Issue-queue (scheduler) capacity. 0 means "same as robSize" —
+     * the model's default simplification; set explicitly to study
+     * scheduler-bound behaviour.
+     */
+    int iqSize = 0;
+
+    FuConfig intAlu{4, 1, 1};
+    FuConfig intMul{1, 3, 1};
+    FuConfig fpDiv{1, 12, 4};   ///< not fully pipelined (DIVSD-like)
+    FuConfig memRead{2, 1, 1};  ///< load ports; latency from hierarchy
+    FuConfig memWrite{1, 1, 1};
+    FuConfig branchU{2, 1, 1};
+
+    Cycle mispredictPenalty = 12; ///< redirect bubble after resolution
+
+    /**
+     * Issue arbitration within a functional-unit class:
+     * true  = first-come-first-served by wakeup order (select-on-wakeup
+     *         schedulers; the model under which section 6.4's divider
+     *         chain reaction operates),
+     * false = strict oldest-first by program order.
+     */
+    bool readyOrderIssue = true;
+
+    /**
+     * Delay-on-miss Spectre defence (Sakalis et al., modelled per the
+     * paper's section 8 discussion): a load that would miss the L1 is
+     * held until it is no longer speculative (no unresolved older
+     * branch). Defeats the transient P/A racing gadget; the
+     * non-transient reorder gadget is untouched — the paper's point.
+     */
+    bool delayOnMiss = false;
+
+    /** Timer-interrupt interval in cycles; 0 disables. */
+    Cycle interruptInterval = 0;
+    /** Cycles consumed servicing an interrupt after the drain. */
+    Cycle interruptOverhead = 2000;
+
+    int effectiveIqSize() const { return iqSize > 0 ? iqSize : robSize; }
+};
+
+/** Counters observable by experiments and the detector (section 8). */
+struct PerfCounters
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committedInstrs = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t squashedInstrs = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t issuedByClass[6] = {};
+    std::uint64_t noCommitCycles = 0; ///< busy cycles with no commit
+    std::uint64_t robFullStalls = 0;  ///< dispatch cycles lost to ROB-full
+
+    PerfCounters operator-(const PerfCounters &o) const;
+    double ipc() const;
+};
+
+/** Outcome of one Program execution. */
+struct RunResult
+{
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+    bool halted = false;
+    PerfCounters counters; ///< delta for this run
+
+    Cycle cycles() const { return endCycle - startCycle; }
+};
+
+/**
+ * The out-of-order core. Owns pipeline state; borrows the memory
+ * hierarchy, memory image, and branch predictor from the Machine so
+ * microarchitectural state persists across program executions (which is
+ * how training and attack phases interact).
+ */
+class OooCore
+{
+  public:
+    OooCore(const CoreConfig &config, Hierarchy &hierarchy,
+            MemoryImage &memory, BranchPredictor &predictor);
+
+    const CoreConfig &config() const { return config_; }
+
+    /** Global cycle counter (monotonic across runs). */
+    Cycle cycle() const { return cycle_; }
+
+    /** Cumulative counters (monotonic across runs). */
+    const PerfCounters &counters() const { return counters_; }
+
+    /**
+     * Execute a program to completion (Halt commit or natural end).
+     *
+     * @param program   code to run (program.id must be assigned)
+     * @param initial_regs  values for registers before the first
+     *                      instruction; all others start at zero
+     * @param max_cycles    safety limit for this run
+     */
+    RunResult run(const Program &program,
+                  const std::vector<std::pair<RegId, std::int64_t>>
+                      &initial_regs = {},
+                  Cycle max_cycles = 500'000'000);
+
+  private:
+    enum class Status : std::uint8_t { Waiting, Ready, Issued, Completed };
+
+    struct RobEntry
+    {
+        std::uint64_t seq = 0;
+        std::int32_t pc = 0;
+        Instruction inst;
+        Status status = Status::Waiting;
+        int pendingSrcs = 0;
+        std::int64_t srcVal[3] = {0, 0, 0};
+        std::uint64_t srcProducer[3]; ///< kNoSeq when value captured
+        std::int64_t value = 0;
+        Addr ea = 0;
+        bool eaValid = false;
+        bool predictedTaken = false;
+        bool forwarded = false;
+        std::vector<std::uint64_t> consumers;
+    };
+
+    static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+
+    struct Event
+    {
+        Cycle cycle;
+        std::uint64_t seq;
+        bool operator>(const Event &o) const
+        {
+            if (cycle != o.cycle)
+                return cycle > o.cycle;
+            return seq > o.seq;
+        }
+    };
+
+    // --- configuration and borrowed machine state ---
+    CoreConfig config_;
+    Hierarchy &hierarchy_;
+    MemoryImage &memory_;
+    BranchPredictor &predictor_;
+
+    // --- global time ---
+    Cycle cycle_ = 0;
+    Cycle nextInterrupt_ = 0;
+    PerfCounters counters_;
+
+    // --- per-run state ---
+    const Program *program_ = nullptr;
+    std::vector<std::int64_t> regfile_;
+    std::vector<RobEntry *> renameTable_;
+    std::deque<std::unique_ptr<RobEntry>> rob_;
+    std::unordered_map<std::uint64_t, RobEntry *> bySeq_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    /** Ready instructions per class, keyed by arbitration priority. */
+    using ReadyKey = std::pair<std::uint64_t, std::uint64_t>; // key, seq
+    std::priority_queue<ReadyKey, std::vector<ReadyKey>,
+                        std::greater<ReadyKey>>
+        readyQueue_[6];
+    std::uint64_t readyStamp_ = 0;
+    std::vector<std::uint64_t> replayQueue_; ///< memory-op retries
+    FuncUnitPool *pools_[6] = {};
+    std::unique_ptr<FuncUnitPool> poolStorage_[6];
+    std::uint64_t nextSeq_ = 0;
+    std::int32_t fetchPc_ = 0;
+    Cycle fetchStallUntil_ = 0;
+    bool fetchDone_ = false;
+    bool halted_ = false;
+    bool draining_ = false;
+    int inflightStores_ = 0;
+    int inflightBranches_ = 0;
+    int iqOccupancy_ = 0;
+
+    // --- pipeline stages (each returns true if it did work) ---
+    bool processCompletions();
+    bool issueStage();
+    bool dispatchStage();
+    bool commitStage();
+    void serviceInterrupt();
+
+    // --- helpers ---
+    RobEntry *findEntry(std::uint64_t seq);
+    void markReady(RobEntry &entry);
+    void resolveEaIfReady(RobEntry &entry);
+    void wakeConsumers(RobEntry &producer);
+    void completeEntry(RobEntry &entry, std::int64_t value);
+    void resolveBranch(RobEntry &entry);
+    void squashAfter(std::uint64_t seq, std::int32_t new_pc);
+    bool tryIssueMemOp(RobEntry &entry);
+    std::int64_t computeAlu(const RobEntry &entry) const;
+    Addr computeEa(const RobEntry &entry) const;
+    std::int64_t srcValue(const RobEntry &entry, int slot) const;
+    void setupRun(const Program &program,
+                  const std::vector<std::pair<RegId, std::int64_t>>
+                      &initial_regs);
+    Cycle nextWakeCycle() const;
+};
+
+} // namespace hr
+
+#endif // HR_CORE_OOO_CORE_HH

@@ -1,0 +1,78 @@
+#include "detect/detector.hh"
+
+namespace hr
+{
+
+DetectorFeatures
+Detector::featuresOf(const RunResult &result, std::uint64_t l1_misses)
+{
+    DetectorFeatures features;
+    const auto &counters = result.counters;
+    const double kilo_instrs =
+        static_cast<double>(counters.committedInstrs) / 1e3;
+    if (kilo_instrs > 0) {
+        features.l1MissesPerKiloInstr =
+            static_cast<double>(l1_misses) / kilo_instrs;
+        features.mispredictsPerKiloInstr =
+            static_cast<double>(counters.mispredicts) / kilo_instrs;
+    }
+    if (counters.cycles > 0) {
+        features.backendBoundRatio =
+            static_cast<double>(counters.noCommitCycles) /
+            static_cast<double>(counters.cycles);
+    }
+    std::uint64_t issued = 0;
+    for (std::uint64_t n : counters.issuedByClass)
+        issued += n;
+    if (issued > 0) {
+        features.divIssueShare =
+            static_cast<double>(
+                counters.issuedByClass[static_cast<int>(FuClass::FpDiv)]) /
+            static_cast<double>(issued);
+    }
+    features.ipc = counters.ipc();
+    return features;
+}
+
+DetectorFeatures
+Detector::profile(Machine &machine, Program &program)
+{
+    const std::uint64_t misses_before =
+        machine.hierarchy().l1().stats().misses;
+    RunResult result = machine.run(program);
+    const std::uint64_t misses =
+        machine.hierarchy().l1().stats().misses - misses_before;
+    return featuresOf(result, misses);
+}
+
+DetectorVerdict
+Detector::classify(const DetectorFeatures &features) const
+{
+    DetectorVerdict verdict;
+    if (features.l1MissesPerKiloInstr >
+        thresholds_.l1MissesPerKiloInstr) {
+        verdict.suspicious = true;
+        verdict.reason = "sustained L1 miss storm (PLRU/arbitrary "
+                         "magnifier signature)";
+        return verdict;
+    }
+    // Backend-bound cycles per mispredict: long dependent-arithmetic
+    // execution with almost no branches misleading.
+    const double mispredicts_per_cycle =
+        features.mispredictsPerKiloInstr * features.ipc / 1e3;
+    const double backend_per_mispredict =
+        mispredicts_per_cycle > 0
+            ? features.backendBoundRatio / mispredicts_per_cycle
+            : (features.backendBoundRatio > 0.5 ? 1e9 : 0.0);
+    if (features.divIssueShare > thresholds_.divIssueShare &&
+        backend_per_mispredict > thresholds_.backendPerMispredict) {
+        verdict.suspicious = true;
+        verdict.reason = "backend-bound divider chains without "
+                         "mispredicts (arithmetic magnifier signature)";
+        return verdict;
+    }
+    verdict.reason = "benign profile";
+    return verdict;
+}
+
+} // namespace hr

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Run-time detection analysis (paper section 8).
+ *
+ * The paper suggests two weak classifiers for Hacky-Racer activity:
+ * the L1-miss rate (the PLRU and arbitrary-replacement magnifiers miss
+ * constantly) and the ratio of backend-bound execution to branch
+ * mispredictions (the arithmetic magnifier runs long dependent chains
+ * with essentially no mispredicts). This module computes those
+ * features from the machine's performance counters so the benchmarks
+ * can quantify how separable gadget traffic is from benign code.
+ */
+
+#ifndef HR_DETECT_DETECTOR_HH
+#define HR_DETECT_DETECTOR_HH
+
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace hr
+{
+
+/** Features extracted from one profiled execution. */
+struct DetectorFeatures
+{
+    double l1MissesPerKiloInstr = 0.0;
+    double backendBoundRatio = 0.0;    ///< no-commit cycles / cycles
+    double mispredictsPerKiloInstr = 0.0;
+    double divIssueShare = 0.0;        ///< FpDiv issues / all issues
+    double ipc = 0.0;
+};
+
+/** Verdict with the dominant signal. */
+struct DetectorVerdict
+{
+    bool suspicious = false;
+    std::string reason;
+};
+
+/** Simple threshold detector over hardware-counter features. */
+class Detector
+{
+  public:
+    /** Counter thresholds (defaults follow section 8's discussion). */
+    struct Thresholds
+    {
+        double l1MissesPerKiloInstr = 150.0;
+        double backendPerMispredict = 4000.0; ///< cycles per mispredict
+        double divIssueShare = 0.10;
+    };
+
+    Detector() : thresholds_(Thresholds()) {}
+    explicit Detector(const Thresholds &thresholds)
+        : thresholds_(thresholds)
+    {
+    }
+
+    /** Profile one program execution on a machine. */
+    static DetectorFeatures profile(Machine &machine, Program &program);
+
+    /** Extract features from a finished run's counters + cache stats. */
+    static DetectorFeatures featuresOf(const RunResult &result,
+                                       std::uint64_t l1_misses);
+
+    /** Classify. */
+    DetectorVerdict classify(const DetectorFeatures &features) const;
+
+  private:
+    Thresholds thresholds_;
+};
+
+} // namespace hr
+
+#endif // HR_DETECT_DETECTOR_HH

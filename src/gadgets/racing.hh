@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Racing gadgets (paper section 5): differential timing of a
+ * measurement path against a constant-time baseline path.
+ *
+ * Two flavours:
+ *  - TransientPaRace (5.1): the baseline path is the body of a
+ *    mispredicted branch whose condition is the measurement path's
+ *    terminator. If the measurement path outlasts the baseline, a
+ *    transient probe access escapes before the squash (presence);
+ *    otherwise it does not (absence).
+ *  - ReorderRace (5.2): no speculation at all. Both paths end in a
+ *    memory access; the completion order of the paths becomes the
+ *    relative order of the two accesses, recorded in replacement state.
+ */
+
+#ifndef HR_GADGETS_RACING_HH
+#define HR_GADGETS_RACING_HH
+
+#include <optional>
+
+#include "gadgets/path.hh"
+#include "sim/machine.hh"
+
+namespace hr
+{
+
+/** Configuration of the transient presence/absence racing gadget. */
+struct TransientPaRaceConfig
+{
+    Addr syncAddr = 0x100'0000;  ///< synchronizing line (kept cold)
+    Addr probeAddr = 0x200'0000; ///< transient probe target "A"
+    Opcode refOp = Opcode::Add;  ///< baseline path operation
+    int refOps = 20;             ///< baseline path length (threshold T')
+    int trainRounds = 4;         ///< predictor training executions
+};
+
+/**
+ * Transient presence/absence racing gadget.
+ *
+ * Builds (once) the program
+ *     if (path_m(expr, x)) { path_b(); access[probe]; }
+ * trained with x = 0 and attacked with x = 1, per section 5.1.
+ */
+class TransientPaRace
+{
+  public:
+    TransientPaRace(Machine &machine, const TransientPaRaceConfig &config,
+                    const TargetExpr &expr);
+
+    const TransientPaRaceConfig &config() const { return config_; }
+    const Program &program() const { return program_; }
+
+    /**
+     * Register carrying a runtime argument into the target expression
+     * (always register 1 of the program; see TargetExpr::loadIndirect).
+     * Passing the timed address as *data* lets training runs use a
+     * harmless dummy address so they never touch the attack target.
+     */
+    static constexpr RegId kArgReg = 1;
+    RegId argReg() const { return kArgReg; }
+
+    /** Train the branch predictor (x = 0; cleans probe pollution). */
+    void train(std::int64_t arg = 0);
+
+    /**
+     * One attack execution (x = 1). Leaves the presence/absence state
+     * in the cache for a magnifier; does not read it.
+     */
+    RunResult runAttack(std::int64_t arg = 0);
+
+    /**
+     * Attack, then directly inspect the cache (characterization mode —
+     * a real attacker would use a magnifier + coarse timer instead).
+     * @return true if the probe line was transiently fetched, i.e.
+     *         Time(expr) > Time(baseline).
+     */
+    bool attackAndProbe(std::int64_t arg = 0);
+
+  private:
+    Machine &machine_;
+    TransientPaRaceConfig config_;
+    Program program_;
+    RegId xReg_ = kNoReg;
+    RegId argReg_ = kNoReg;
+
+    void build(const TargetExpr &expr);
+};
+
+/** Configuration of the non-transient reorder racing gadget. */
+struct ReorderRaceConfig
+{
+    Addr syncAddr = 0x100'0000; ///< synchronizing line (kept cold)
+    Addr addrA = 0;             ///< measurement path's access (misses L1)
+    Addr addrB = 0;             ///< baseline path's access (hits L1)
+    Opcode refOp = Opcode::Add; ///< baseline path operation
+    int refOps = 20;            ///< baseline path length
+};
+
+/**
+ * Non-transient reorder racing gadget: no misspeculation anywhere.
+ *
+ *     path_m(expr) -> access[A];
+ *     path_b()     -> access[B];
+ *
+ * Both paths hang off the same cache-missing load and race; the
+ * relative order in which A's fill and B's touch reach the L1
+ * replacement state encodes the race result.
+ */
+class ReorderRace
+{
+  public:
+    ReorderRace(Machine &machine, const ReorderRaceConfig &config,
+                const TargetExpr &expr);
+
+    const ReorderRaceConfig &config() const { return config_; }
+    const Program &program() const { return program_; }
+
+    /** One race execution; leaves the ordering state in the cache. */
+    RunResult run();
+
+  private:
+    Machine &machine_;
+    ReorderRaceConfig config_;
+    Program program_;
+
+    void build(const TargetExpr &expr);
+};
+
+} // namespace hr
+
+#endif // HR_GADGETS_RACING_HH

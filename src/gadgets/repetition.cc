@@ -1,0 +1,72 @@
+#include "gadgets/repetition.hh"
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+Cycle
+StageBreakdown::total() const
+{
+    Cycle sum = 0;
+    for (Cycle c : cycles)
+        sum += c;
+    return sum;
+}
+
+double
+StageBreakdown::percent(std::size_t stage) const
+{
+    const Cycle sum = total();
+    if (sum == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(cycles.at(stage)) /
+           static_cast<double>(sum);
+}
+
+RepetitionGadget::RepetitionGadget(Machine &machine,
+                                   std::vector<Stage> stages)
+    : machine_(machine), stages_(std::move(stages))
+{
+    fatalIf(stages_.empty(), "RepetitionGadget: no stages");
+}
+
+StageBreakdown
+RepetitionGadget::run(int rounds)
+{
+    StageBreakdown breakdown;
+    for (const auto &stage : stages_)
+        breakdown.names.push_back(stage.name);
+    breakdown.cycles.assign(stages_.size(), 0);
+
+    for (int round = 0; round < rounds; ++round) {
+        for (std::size_t s = 0; s < stages_.size(); ++s) {
+            if (stages_[s].setup)
+                stages_[s].setup(machine_);
+            RunResult result = machine_.run(stages_[s].program);
+            breakdown.cycles[s] += result.cycles();
+        }
+    }
+    return breakdown;
+}
+
+Program
+makeConstantTimeStage(const TargetExpr &payload, Opcode ref_op,
+                      int ref_ops, Addr sync_addr, const std::string &name)
+{
+    ProgramBuilder builder(name);
+    RegId sync = builder.loadAbsolute(sync_addr);
+
+    SeqBuilder measurement(builder);
+    embedExpression(measurement, sync, payload);
+
+    SeqBuilder baseline(builder);
+    RegId base = baseline.binopImm(Opcode::And, sync, 0);
+    baseline.opChain(ref_op, static_cast<std::size_t>(ref_ops), base, 1);
+
+    builder.appendInterleaved({measurement.take(), baseline.take()});
+    builder.halt();
+    return builder.take();
+}
+
+} // namespace hr

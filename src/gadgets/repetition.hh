@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Repetition gadgets (paper sections 2.3 and 7.1).
+ *
+ * A repetition gadget runs a staged attack many times, accumulating the
+ * per-stage timing so the total becomes visible to a coarse timer. The
+ * paper shows this can fail: a stage whose timing anti-correlates with
+ * the signal (e.g. the victim-load stage of flush+reload) cancels the
+ * accumulated difference. Wrapping that stage in a racing gadget whose
+ * baseline outlasts it makes the stage constant-time and restores the
+ * signal (Fig. 7).
+ */
+
+#ifndef HR_GADGETS_REPETITION_HH
+#define HR_GADGETS_REPETITION_HH
+
+#include <string>
+#include <vector>
+
+#include "gadgets/path.hh"
+#include "sim/machine.hh"
+
+namespace hr
+{
+
+/** Per-stage accumulated cycles over all rounds. */
+struct StageBreakdown
+{
+    std::vector<std::string> names;
+    std::vector<Cycle> cycles;
+
+    Cycle total() const;
+    /** Stage share of the total, in percent. */
+    double percent(std::size_t stage) const;
+};
+
+/**
+ * Runs a sequence of stage programs round-robin for a number of rounds,
+ * accumulating per-stage cycles.
+ */
+class RepetitionGadget
+{
+  public:
+    /** Stage: a program plus a per-round setup hook (may be empty). */
+    struct Stage
+    {
+        std::string name;
+        Program program;
+        std::function<void(Machine &)> setup; ///< run before each round
+    };
+
+    RepetitionGadget(Machine &machine, std::vector<Stage> stages);
+
+    /** Execute `rounds` rounds; returns accumulated per-stage cycles. */
+    StageBreakdown run(int rounds);
+
+  private:
+    Machine &machine_;
+    std::vector<Stage> stages_;
+};
+
+/**
+ * Wrap a payload expression in a constant-time racing envelope: the
+ * payload races a baseline path longer than the payload's worst case,
+ * so the envelope's duration is the baseline's regardless of the
+ * payload's cache behaviour (section 7.1's fix).
+ */
+Program makeConstantTimeStage(const TargetExpr &payload, Opcode ref_op,
+                              int ref_ops, Addr sync_addr,
+                              const std::string &name = "const_stage");
+
+} // namespace hr
+
+#endif // HR_GADGETS_REPETITION_HH

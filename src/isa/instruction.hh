@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The micro-op ISA executed by the out-of-order core model.
+ *
+ * Hacky Racers gadgets are instruction-dependence graphs; this ISA is the
+ * minimal vocabulary needed to express them: simple arithmetic, loads
+ * (with optional ordering-only dependences via a zero scale factor),
+ * stores, software prefetches, and branches. It corresponds to the
+ * "simple arithmetic operations, branches, loads and coarse-grained
+ * timers" the paper's threat model permits (section 1).
+ */
+
+#ifndef HR_ISA_INSTRUCTION_HH
+#define HR_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Micro-operation kinds. */
+enum class Opcode : std::uint8_t
+{
+    Nop,      ///< No operation (still occupies a pipeline slot).
+    MovImm,   ///< dst = imm
+    Add,      ///< dst = src0 + src1|imm
+    Sub,      ///< dst = src0 - src1|imm
+    Mul,      ///< dst = src0 * src1|imm (3-cycle class)
+    Div,      ///< dst = src0 / src1|imm (long-latency, not fully pipelined)
+    And,      ///< dst = src0 & src1|imm
+    Or,       ///< dst = src0 | src1|imm
+    Xor,      ///< dst = src0 ^ src1|imm
+    Shl,      ///< dst = src0 << (src1|imm)
+    Shr,      ///< dst = src0 >> (src1|imm) (logical)
+    Lea,      ///< dst = imm + src0*scale0 + src1*scale1 (1-cycle)
+    Load,     ///< dst = mem[imm + src0*scale0 + src1*scale1]
+    Store,    ///< mem[imm + src0*scale0 + src1*scale1] = dst-register value
+    Prefetch, ///< fetch line at EA into the cache; no destination
+    Branch,   ///< conditional: taken iff (src0 != 0) ^ invert; to target
+    Jump,     ///< unconditional branch to target
+    Halt,     ///< stop the machine when committed
+    Rdtsc,    ///< dst = current cycle (ground-truth clock; tests only)
+};
+
+/** Functional-unit class an opcode issues to. */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,   ///< adds, logic, lea, movimm, nop
+    IntMul,   ///< multiplies
+    FpDiv,    ///< divides (not fully pipelined)
+    MemRead,  ///< loads and prefetches
+    MemWrite, ///< stores
+    BranchU,  ///< branches and jumps
+};
+
+/** Map an opcode to the functional unit class that executes it. */
+FuClass fuClassOf(Opcode op);
+
+/** True for Load/Store/Prefetch. */
+bool isMemOp(Opcode op);
+
+/** True for Branch/Jump. */
+bool isControlOp(Opcode op);
+
+/**
+ * One micro-op. Fixed two-source format.
+ *
+ * Memory effective address and Lea results are computed as
+ *   imm + value(src0)*scale0 + value(src1)*scale1,
+ * which lets gadget code create ordering-only data dependences
+ * (scale = 0: the access must wait for the producer, but the address is
+ * unchanged) as well as genuine pointer chases (scale = 1).
+ *
+ * Store reads its data from @c dst (the only three-operand case).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = kNoReg;
+    RegId src0 = kNoReg;
+    RegId src1 = kNoReg;
+    std::int64_t imm = 0;
+    std::int8_t scale0 = 1;
+    std::int8_t scale1 = 1;
+    std::int32_t target = -1; ///< branch destination (program index)
+    bool invert = false;      ///< branch on zero instead of non-zero
+
+    /** Functional unit class for this instruction. */
+    FuClass fuClass() const { return fuClassOf(op); }
+
+    /** Human-readable rendering, e.g. "load r3 = [0x1000 + r2*0]". */
+    std::string toString() const;
+};
+
+/** Name of an opcode, e.g. "mul". */
+std::string opcodeName(Opcode op);
+
+} // namespace hr
+
+#endif // HR_ISA_INSTRUCTION_HH

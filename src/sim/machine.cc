@@ -1,0 +1,86 @@
+#include "sim/machine.hh"
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+MachineConfig
+MachineConfig::defaultProfile()
+{
+    return MachineConfig{};
+}
+
+MachineConfig
+MachineConfig::effectiveWindowProfile()
+{
+    MachineConfig config;
+    config.core.robSize = 64;
+    return config;
+}
+
+MachineConfig
+MachineConfig::noisyProfile(std::uint64_t seed)
+{
+    MachineConfig config;
+    config.memory.l3Jitter = 8;
+    config.memory.memJitter = 30;
+    config.memory.rngSeed = seed;
+    return config;
+}
+
+MachineConfig
+MachineConfig::plruProfile()
+{
+    MachineConfig config;
+    config.memory.l1.numSets = 128;
+    config.memory.l1.assoc = 4;
+    config.memory.l1.policy = PolicyKind::TreePlru;
+    return config;
+}
+
+MachineConfig
+MachineConfig::randomL1Profile(std::uint64_t seed)
+{
+    MachineConfig config;
+    config.memory.l1.numSets = 64;
+    config.memory.l1.assoc = 8;
+    config.memory.l1.policy = PolicyKind::Random;
+    config.memory.l1.rngSeed = seed;
+    config.memory.l1Mshrs = 16;
+    return config;
+}
+
+MachineConfig &
+MachineConfig::withInterrupts(double interval_ms)
+{
+    core.interruptInterval =
+        static_cast<Cycle>(interval_ms * 1e6 * ghz);
+    return *this;
+}
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), hierarchy_(config.memory)
+{
+    core_ = std::make_unique<OooCore>(config_.core, hierarchy_, memory_,
+                                      predictor_);
+}
+
+double
+Machine::toNs(Cycle cycles) const
+{
+    return static_cast<double>(cycles) / config_.ghz;
+}
+
+RunResult
+Machine::run(Program &program,
+             const std::vector<std::pair<RegId, std::int64_t>>
+                 &initial_regs,
+             Cycle max_cycles)
+{
+    if (program.id == 0)
+        program.id = nextProgramId_++;
+    return core_->run(program, initial_regs, max_cycles);
+}
+
+} // namespace hr

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Machine: the persistent attacker-visible execution environment.
+ *
+ * Owns a core, a cache hierarchy, a memory image, and a branch
+ * predictor, all of which keep state across run() calls — which is how
+ * successive "JavaScript function invocations" (training, racing,
+ * magnifying, probing) interact through the microarchitecture.
+ */
+
+#ifndef HR_SIM_MACHINE_HH
+#define HR_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/branch_predictor.hh"
+#include "core/ooo_core.hh"
+#include "isa/program.hh"
+#include "util/memory_image.hh"
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    CoreConfig core;
+    HierarchyConfig memory;
+    double ghz = 2.0; ///< clock for cycle <-> nanosecond conversion
+
+    /**
+     * Effective-window profile used by the racing-granularity
+     * experiments (Fig. 8/9): a small ROB models the paper's
+     * JIT-expanded "54 JS ops" window (see EXPERIMENTS.md).
+     */
+    static MachineConfig effectiveWindowProfile();
+
+    /** Default Coffee-Lake-like profile. */
+    static MachineConfig defaultProfile();
+
+    /** Profile with memory-latency jitter enabled (noisy system). */
+    static MachineConfig noisyProfile(std::uint64_t seed = 7);
+
+    /**
+     * 4-way tree-PLRU L1 (same 32KB capacity, 128 sets): the paper's
+     * W = 4 example configuration for the PLRU magnifier gadgets.
+     */
+    static MachineConfig plruProfile();
+
+    /** Random-replacement 8-way L1 (section 6.3's configuration). */
+    static MachineConfig randomL1Profile(std::uint64_t seed = 5);
+
+    /** Enable periodic timer interrupts (default 4 ms, as in Fig. 12). */
+    MachineConfig &withInterrupts(double interval_ms = 4.0);
+};
+
+/** The simulated machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = {});
+
+    const MachineConfig &config() const { return config_; }
+
+    MemoryImage &memory() { return memory_; }
+    const MemoryImage &memory() const { return memory_; }
+    Hierarchy &hierarchy() { return hierarchy_; }
+    const Hierarchy &hierarchy() const { return hierarchy_; }
+    OooCore &core() { return *core_; }
+    BranchPredictor &predictor() { return predictor_; }
+
+    /** Global cycle count. */
+    Cycle now() const { return core_->cycle(); }
+
+    /** Convert cycles to nanoseconds at the configured clock. */
+    double toNs(Cycle cycles) const;
+    double toUs(Cycle cycles) const { return toNs(cycles) / 1e3; }
+
+    /**
+     * Run a program to completion. Assigns the program an id on first
+     * use (ids key branch-predictor state).
+     */
+    RunResult run(Program &program,
+                  const std::vector<std::pair<RegId, std::int64_t>>
+                      &initial_regs = {},
+                  Cycle max_cycles = 500'000'000);
+
+    // ---- harness conveniences -----------------------------------------
+    /** Write a word and (optionally) keep caches unaware (default). */
+    void poke(Addr addr, std::int64_t value) { memory_.write(addr, value); }
+    std::int64_t peek(Addr addr) const { return memory_.read(addr); }
+
+    /** clflush-like line invalidation across all levels. */
+    void flushLine(Addr addr) { hierarchy_.flushLine(addr); }
+    void flushAllCaches() { hierarchy_.flushAll(); }
+
+    /** Instantly install a line (setup helper; no timing). */
+    void warm(Addr addr, int upto_level = 1)
+    {
+        hierarchy_.warm(addr, upto_level);
+    }
+
+    /** Highest cache level holding the line (0 = none). */
+    int probeLevel(Addr addr) const { return hierarchy_.probeLevel(addr); }
+
+    /**
+     * Let all in-flight memory requests land (models the idle gap
+     * between attacker function invocations). Probing cache state right
+     * after a run without settling may miss still-pending fills.
+     */
+    void settle() { hierarchy_.drainAllFills(); }
+
+  private:
+    MachineConfig config_;
+    MemoryImage memory_;
+    Hierarchy hierarchy_;
+    BranchPredictor predictor_;
+    std::unique_ptr<OooCore> core_;
+    std::uint64_t nextProgramId_ = 1;
+};
+
+} // namespace hr
+
+#endif // HR_SIM_MACHINE_HH

@@ -1,0 +1,46 @@
+#include "timer/coarse_timer.hh"
+
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+CoarseTimer::CoarseTimer(const TimerConfig &config)
+    : config_(config), rng_(config.rngSeed)
+{
+    fatalIf(config_.ghz <= 0, "CoarseTimer: bad clock");
+    fatalIf(config_.resolutionNs <= 0, "CoarseTimer: bad resolution");
+}
+
+double
+CoarseTimer::exactNs(Cycle cycle) const
+{
+    return static_cast<double>(cycle) / config_.ghz;
+}
+
+double
+CoarseTimer::nowNs(Cycle cycle)
+{
+    double t = exactNs(cycle);
+    if (config_.jitterNs > 0)
+        t += rng_.uniform() * config_.jitterNs;
+    return std::floor(t / config_.resolutionNs) * config_.resolutionNs;
+}
+
+double
+CoarseTimer::elapsedNs(Cycle start, Cycle end)
+{
+    return nowNs(end) - nowNs(start);
+}
+
+bool
+CoarseTimer::distinguishable(Cycle a, Cycle b) const
+{
+    const double da = exactNs(a);
+    const double db = exactNs(b);
+    return std::abs(da - db) >= config_.resolutionNs;
+}
+
+} // namespace hr

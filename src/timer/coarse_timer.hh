@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Model of a browser's coarse-grained clock (performance.now()).
+ *
+ * The threat model (section 3) gives the attacker a timer quantized to
+ * 5 microseconds (optionally with jitter, modelling "fuzzy time"
+ * defences). Magnifier gadgets must stretch microarchitectural timing
+ * differences beyond this resolution to be observable.
+ */
+
+#ifndef HR_TIMER_COARSE_TIMER_HH
+#define HR_TIMER_COARSE_TIMER_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Timer configuration. */
+struct TimerConfig
+{
+    double ghz = 2.0;            ///< must match the Machine clock
+    double resolutionNs = 5000;  ///< 5 us, today's browser default
+    double jitterNs = 0;         ///< uniform [0, jitter) edge fuzzing
+    std::uint64_t rngSeed = 99;
+
+    /** Chrome-2018-style 100 ms clock. */
+    static TimerConfig
+    veryCoarse()
+    {
+        TimerConfig config;
+        config.resolutionNs = 100e6;
+        return config;
+    }
+};
+
+/** Quantizing (and optionally fuzzed) wall-clock view of machine time. */
+class CoarseTimer
+{
+  public:
+    explicit CoarseTimer(const TimerConfig &config = {});
+
+    const TimerConfig &config() const { return config_; }
+
+    /** Exact nanoseconds (ground truth; not attacker-visible). */
+    double exactNs(Cycle cycle) const;
+
+    /** What performance.now() returns at this cycle, in nanoseconds. */
+    double nowNs(Cycle cycle);
+
+    /** Attacker-visible elapsed time between two cycles. */
+    double elapsedNs(Cycle start, Cycle end);
+
+    /**
+     * True if the attacker can distinguish the two durations with this
+     * timer from a single observation (difference >= one tick).
+     */
+    bool distinguishable(Cycle a, Cycle b) const;
+
+  private:
+    TimerConfig config_;
+    Rng rng_;
+};
+
+} // namespace hr
+
+#endif // HR_TIMER_COARSE_TIMER_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * gem5-style error/status helpers: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn()/inform()
+ * for status output.
+ */
+
+#ifndef HR_UTIL_LOG_HH
+#define HR_UTIL_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hr
+{
+
+/** Internal simulator bug: abort with a message. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** User/configuration error: throw so callers (and tests) may catch. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+/** Non-fatal suspicious condition. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Normal operating status message. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless the invariant holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** fatal() unless the user-facing condition holds. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace hr
+
+#endif // HR_UTIL_LOG_HH

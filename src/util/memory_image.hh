@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Architectural memory image: a sparse map of 8-byte words.
+ *
+ * Cache levels model presence and timing only; the single data image
+ * lives here, which is sound for a single-core machine.
+ */
+
+#ifndef HR_UTIL_MEMORY_IMAGE_HH
+#define HR_UTIL_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace hr
+{
+
+/** Sparse 64-bit-word memory; unwritten locations read as zero. */
+class MemoryImage
+{
+  public:
+    /** Read the word containing addr (aligned down to 8 bytes). */
+    std::int64_t
+    read(Addr addr) const
+    {
+        auto it = words_.find(wordAddr(addr));
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    /** Write the word containing addr. */
+    void
+    write(Addr addr, std::int64_t value)
+    {
+        words_[wordAddr(addr)] = value;
+    }
+
+    /** Number of distinct words written. */
+    std::size_t footprint() const { return words_.size(); }
+
+    void clear() { words_.clear(); }
+
+    static Addr wordAddr(Addr addr) { return addr & ~Addr{7}; }
+
+  private:
+    std::unordered_map<Addr, std::int64_t> words_;
+};
+
+} // namespace hr
+
+#endif // HR_UTIL_MEMORY_IMAGE_HH

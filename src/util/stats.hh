@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the benchmark harness and tests:
+ * running moments, order statistics, and fixed-bin histograms.
+ */
+
+#ifndef HR_UTIL_STATS_HH
+#define HR_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hr
+{
+
+/**
+ * Accumulates samples and reports summary statistics.
+ *
+ * Samples are retained, so percentiles are exact.
+ */
+class SampleStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /** Unbiased sample standard deviation (0 if < 2 samples). */
+    double stddev() const;
+
+    double min() const;
+    double max() const;
+
+    /** Exact percentile via nearest-rank on the sorted samples. */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+    /** Read-only access to raw samples. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+ * the first/last bin.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of samples in bin i (0 if empty histogram). */
+    double binFraction(std::size_t i) const;
+
+    /**
+     * Fraction of probability mass shared with another histogram with the
+     * same binning: sum_i min(p_i, q_i). 0 = perfectly separable signals.
+     */
+    double overlap(const Histogram &other) const;
+
+    /** Multi-line ASCII rendering (for bench output). */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** Pearson correlation between two equal-length series. */
+double correlation(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Ordinary least-squares slope of y on x. */
+double linearSlope(const std::vector<double> &x, const std::vector<double> &y);
+
+} // namespace hr
+
+#endif // HR_UTIL_STATS_HH

@@ -1,0 +1,107 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != headers_.size(), "Table: row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::integer(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(headers_);
+    std::size_t rule = 0;
+    for (std::size_t w : widths)
+        rule += w + 2;
+    out += std::string(rule > 2 ? rule - 2 : rule, '-') + "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+Series::Series(std::string name, std::string x_label, std::string y_label)
+    : name_(std::move(name)), xLabel_(std::move(x_label)),
+      yLabel_(std::move(y_label))
+{
+}
+
+void
+Series::add(double x, double y)
+{
+    xs_.push_back(x);
+    ys_.push_back(y);
+}
+
+std::string
+Series::render() const
+{
+    std::string out = "# series: " + name_ + "\n";
+    out += "# " + xLabel_ + "\t" + yLabel_ + "\n";
+    char line[96];
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+        std::snprintf(line, sizeof(line), "%14.4f %14.4f\n", xs_[i], ys_[i]);
+        out += line;
+    }
+    return out;
+}
+
+void
+Series::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace hr

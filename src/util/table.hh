@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ASCII table and data-series printers used by the benchmark harness to
+ * emit the rows/series the paper's tables and figures report.
+ */
+
+#ifndef HR_UTIL_TABLE_HH
+#define HR_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hr
+{
+
+/**
+ * Column-aligned ASCII table. Collects rows of strings and renders with a
+ * header rule, suitable for terminal output and for diffing in tests.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (must match header arity). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 3);
+    static std::string integer(long long v);
+
+    /** Render the whole table. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Named (x, y) series, printed as aligned two-column data blocks — the
+ * textual equivalent of one line on a paper figure.
+ */
+class Series
+{
+  public:
+    Series(std::string name, std::string x_label, std::string y_label);
+
+    void add(double x, double y);
+
+    const std::string &name() const { return name_; }
+    const std::vector<double> &xs() const { return xs_; }
+    const std::vector<double> &ys() const { return ys_; }
+
+    std::string render() const;
+    void print() const;
+
+  private:
+    std::string name_, xLabel_, yLabel_;
+    std::vector<double> xs_, ys_;
+};
+
+} // namespace hr
+
+#endif // HR_UTIL_TABLE_HH

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Core resource-limit and scheduling tests: ROB/IQ capacity, functional
+ * unit contention, MSHR-limited memory parallelism, interrupts, and
+ * store disambiguation — the knobs the gadgets lean on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+namespace hr
+{
+namespace
+{
+
+TEST(CoreWindow, RobLimitsMemoryLevelParallelism)
+{
+    // A stream of independent cold loads: a wide window keeps many
+    // misses in flight; a tiny window serializes them.
+    auto run_with_rob = [](int rob) {
+        MachineConfig mc;
+        mc.core.robSize = rob;
+        mc.memory.l1Mshrs = 16;
+        Machine machine(mc);
+        ProgramBuilder builder("mlpwin");
+        for (int i = 0; i < 16; ++i)
+            builder.loadAbsolute(0x70'0000 + static_cast<Addr>(i) * 64);
+        builder.halt();
+        Program prog = builder.take();
+        return machine.run(prog).cycles();
+    };
+    const Cycle small = run_with_rob(4);
+    const Cycle large = run_with_rob(224);
+    EXPECT_GT(small, 3 * large)
+        << "a 4-entry window must serialize most of the misses";
+}
+
+TEST(CoreWindow, IqSmallerThanRobBindsIssue)
+{
+    MachineConfig mc;
+    mc.core.robSize = 224;
+    mc.core.iqSize = 8;
+    Machine machine(mc);
+    ProgramBuilder builder("iq");
+    RegId sync = builder.loadAbsolute(0x100'0000);
+    RegId r = builder.binopImm(Opcode::And, sync, 0);
+    builder.opChain(Opcode::Add, 100, r, 1);
+    builder.halt();
+    Program prog = builder.take();
+    RunResult result = machine.run(prog);
+    EXPECT_TRUE(result.halted); // correctness under a tiny scheduler
+}
+
+TEST(CoreWindow, MulThroughputMatchesUnitCount)
+{
+    // 40 independent MULs on 1 unit (II=1, lat 3): ~40 cycles.
+    Machine machine;
+    ProgramBuilder builder("mulpar");
+    RegId seed = builder.movImm(3);
+    for (int i = 0; i < 40; ++i)
+        builder.binopImm(Opcode::Mul, seed, 3);
+    builder.halt();
+    Program prog = builder.take();
+    const Cycle t = machine.run(prog).cycles();
+    EXPECT_GE(t, 40u);
+    EXPECT_LE(t, 70u);
+}
+
+TEST(CoreWindow, DividerInitiationIntervalSerializesBursts)
+{
+    // 8 independent DIVs, II = 4: >= 4*7 + latency cycles.
+    Machine machine;
+    ProgramBuilder builder("divburst");
+    RegId seed = builder.movImm(1 << 20);
+    for (int i = 0; i < 8; ++i)
+        builder.binopImm(Opcode::Div, seed, 1);
+    builder.halt();
+    Program prog = builder.take();
+    const auto &fu = machine.config().core.fpDiv;
+    const Cycle t = machine.run(prog).cycles();
+    EXPECT_GE(t, 7 * fu.initInterval + fu.latency);
+}
+
+TEST(CoreWindow, LoadPortsBoundMemoryIssueRate)
+{
+    // 64 independent warm loads over 2 ports: >= 32 cycles.
+    Machine machine;
+    for (int i = 0; i < 64; ++i)
+        machine.warm(0x8000 + static_cast<Addr>(i) * 64, 1);
+    ProgramBuilder builder("ports");
+    for (int i = 0; i < 64; ++i)
+        builder.loadAbsolute(0x8000 + static_cast<Addr>(i) * 64);
+    builder.halt();
+    Program prog = builder.take();
+    EXPECT_GE(machine.run(prog).cycles(), 32u);
+}
+
+TEST(CoreWindow, MshrsBoundMemoryLevelParallelism)
+{
+    // 20 independent cold loads: with 10 MSHRs they take >= 2 memory
+    // round trips; with 20 they overlap into ~1.
+    auto run_with_mshrs = [](int mshrs) {
+        MachineConfig mc;
+        mc.memory.l1Mshrs = mshrs;
+        Machine machine(mc);
+        ProgramBuilder builder("mlp");
+        for (int i = 0; i < 20; ++i)
+            builder.loadAbsolute(0x70'0000 + static_cast<Addr>(i) * 64);
+        builder.halt();
+        Program prog = builder.take();
+        return machine.run(prog).cycles();
+    };
+    const Cycle narrow = run_with_mshrs(10);
+    const Cycle wide = run_with_mshrs(20);
+    const Cycle mem = MachineConfig().memory.memLatency;
+    EXPECT_GE(narrow, 2 * mem);
+    EXPECT_LT(wide, 2 * mem);
+}
+
+TEST(CoreWindow, InterruptDrainsAndCharges)
+{
+    MachineConfig mc;
+    mc.core.interruptInterval = 5000;
+    mc.core.interruptOverhead = 1000;
+    Machine machine(mc);
+    ProgramBuilder builder("ticks");
+    RegId counter = builder.movImm(20000);
+    auto top = builder.newLabel();
+    builder.bind(top);
+    builder.chainOpImm(Opcode::Sub, counter, 1);
+    builder.branch(counter, top);
+    builder.halt();
+    Program prog = builder.take();
+    RunResult result = machine.run(prog);
+    EXPECT_GE(result.counters.interrupts, 2u);
+    // Each interrupt charges its overhead.
+    EXPECT_GE(result.cycles(),
+              result.counters.interrupts * 1000u + 20000u);
+}
+
+TEST(CoreWindow, OldestFirstAndFcfsBothExecuteCorrectly)
+{
+    for (bool fcfs : {false, true}) {
+        MachineConfig mc;
+        mc.core.readyOrderIssue = fcfs;
+        Machine machine(mc);
+        ProgramBuilder builder("arb");
+        RegId a = builder.movImm(5);
+        RegId b = builder.movImm(7);
+        RegId c = builder.binop(Opcode::Mul, a, b);
+        RegId d = builder.binopImm(Opcode::Div, c, 5);
+        builder.storeOrdered(0x100, d, d);
+        builder.halt();
+        Program prog = builder.take();
+        machine.run(prog);
+        EXPECT_EQ(machine.peek(0x100), 7) << "fcfs=" << fcfs;
+    }
+}
+
+TEST(CoreWindow, StoreAddressResolvesBeforeData)
+{
+    // A store whose data arrives late (long chain) but whose address
+    // is immediate must not block an independent younger load.
+    Machine machine;
+    machine.poke(0x9000, 1);
+    machine.warm(0x9000, 1);
+    ProgramBuilder builder("sta_std");
+    RegId seed = builder.movImm(1);
+    RegId slow = builder.opChain(Opcode::Mul, 30, seed, 1); // ~90 cyc
+    builder.storeOrdered(0x8000, slow, slow); // data late, EA static
+    RegId fast = builder.loadAbsolute(0x9000); // different address
+    RegId probe = builder.binopImm(Opcode::Add, fast, 1);
+    builder.storeOrdered(0xa000, probe, slow); // after everything
+    builder.halt();
+    Program prog = builder.take();
+    const Cycle t = machine.run(prog).cycles();
+    // The program is ~90 cycles of MULs plus pipeline overheads; it
+    // must stay chain-bound (no spurious memory-ordering stall).
+    EXPECT_LE(t, 250u);
+    EXPECT_EQ(machine.peek(0xa000), 2);
+}
+
+TEST(CoreWindow, LoadWaitsForAliasingStoreData)
+{
+    Machine machine;
+    ProgramBuilder builder("alias");
+    RegId seed = builder.movImm(1);
+    RegId slow = builder.opChain(Opcode::Add, 50, seed, 1); // value 51
+    builder.storeOrdered(0xb000, slow, slow);
+    RegId loaded = builder.loadAbsolute(0xb000); // same word!
+    builder.storeOrdered(0xc000, loaded, loaded);
+    builder.halt();
+    Program prog = builder.take();
+    machine.run(prog);
+    EXPECT_EQ(machine.peek(0xc000), 51)
+        << "load must forward the in-flight store's data";
+}
+
+TEST(CoreWindow, SquashRestoresRenameState)
+{
+    // A mispredicted branch with wrong-path writes to the same
+    // register must not corrupt the correct path's value.
+    Machine machine;
+    ProgramBuilder builder("rename");
+    RegId v = builder.movImm(10);
+    RegId counter = builder.movImm(6);
+    auto top = builder.newLabel();
+    builder.bind(top);
+    builder.chainOpImm(Opcode::Sub, counter, 1);
+    builder.branch(counter, top); // mispredicts at loop exit
+    builder.chainOpImm(Opcode::Add, v, 1); // only after the loop
+    builder.storeOrdered(0xd000, v, v);
+    builder.halt();
+    Program prog = builder.take();
+    machine.run(prog);
+    EXPECT_EQ(machine.peek(0xd000), 11);
+}
+
+TEST(CoreWindow, DeepSpeculationNestsAndRecovers)
+{
+    // Several dependent branches in flight at once; the oldest
+    // mispredict must squash all younger work and refetch correctly.
+    Machine machine;
+    ProgramBuilder builder("nest");
+    RegId sync = builder.loadAbsolute(0x100'0000); // slow condition base
+    RegId cond = builder.binopImm(Opcode::And, sync, 0); // 0: not taken
+    RegId acc = builder.movImm(0);
+    auto l1 = builder.newLabel();
+    auto l2 = builder.newLabel();
+    builder.branch(cond, l1); // not taken
+    builder.chainOpImm(Opcode::Add, acc, 1);
+    builder.bind(l1);
+    builder.branch(cond, l2); // not taken
+    builder.chainOpImm(Opcode::Add, acc, 10);
+    builder.bind(l2);
+    builder.storeOrdered(0xe000, acc, acc);
+    builder.halt();
+    Program prog = builder.take();
+    machine.flushLine(0x100'0000);
+    machine.run(prog);
+    EXPECT_EQ(machine.peek(0xe000), 11);
+}
+
+// Architectural-equivalence fuzz: random branch-free programs must
+// produce identical memory results across wildly different
+// microarchitectures (the out-of-order engine is invisible).
+class ArchEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ArchEquivalence, RandomProgramsMatchAcrossConfigs)
+{
+    const int seed = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+
+    ProgramBuilder builder("fuzz");
+    std::vector<RegId> regs;
+    for (int i = 0; i < 4; ++i)
+        regs.push_back(builder.movImm(rng.range(1, 100)));
+    const Opcode ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                          Opcode::Div, Opcode::And, Opcode::Or,
+                          Opcode::Xor, Opcode::Shl, Opcode::Shr};
+    for (int i = 0; i < 120; ++i) {
+        const Opcode op = ops[rng.below(std::size(ops))];
+        const RegId a = regs[rng.below(regs.size())];
+        const RegId b = regs[rng.below(regs.size())];
+        if (rng.chance(0.5))
+            regs.push_back(builder.binop(op, a, b));
+        else
+            regs.push_back(builder.binopImm(op, a, rng.range(1, 7)));
+        if (rng.chance(0.2)) {
+            builder.storeOrdered(
+                0x5000 + static_cast<Addr>(rng.below(32)) * 8,
+                regs.back(), regs.back());
+        }
+        if (rng.chance(0.2)) {
+            regs.push_back(builder.loadAbsolute(
+                0x5000 + static_cast<Addr>(rng.below(32)) * 8));
+        }
+    }
+    builder.storeOrdered(0x6000, regs.back(), regs.back());
+    builder.halt();
+    Program prog = builder.take();
+
+    auto run_config = [&](MachineConfig mc) {
+        Machine machine(mc);
+        Program copy = prog;
+        copy.id = 0;
+        machine.run(copy);
+        std::vector<std::int64_t> words;
+        for (int i = 0; i < 32; ++i)
+            words.push_back(machine.peek(0x5000 + i * 8));
+        words.push_back(machine.peek(0x6000));
+        return words;
+    };
+
+    MachineConfig wide;
+    MachineConfig narrow;
+    narrow.core.robSize = 8;
+    narrow.core.issueWidth = 1;
+    narrow.core.fetchWidth = 1;
+    narrow.core.intAlu.count = 1;
+    narrow.core.readyOrderIssue = false;
+    MachineConfig tiny_mem;
+    tiny_mem.memory.l1Mshrs = 1;
+    tiny_mem.memory.l1.numSets = 2;
+    tiny_mem.memory.l1.assoc = 2;
+
+    const auto a = run_config(wide);
+    EXPECT_EQ(a, run_config(narrow));
+    EXPECT_EQ(a, run_config(tiny_mem));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ArchEquivalence,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace hr

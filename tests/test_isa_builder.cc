@@ -1,0 +1,190 @@
+/**
+ * @file
+ * ISA and ProgramBuilder unit tests: encoding helpers, labels,
+ * interleaving, disassembly, and the path-embedding contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gadgets/path.hh"
+#include "isa/program.hh"
+#include "sim/machine.hh"
+
+namespace hr
+{
+namespace
+{
+
+TEST(Opcodes, FuClassMapping)
+{
+    EXPECT_EQ(fuClassOf(Opcode::Add), FuClass::IntAlu);
+    EXPECT_EQ(fuClassOf(Opcode::Mul), FuClass::IntMul);
+    EXPECT_EQ(fuClassOf(Opcode::Div), FuClass::FpDiv);
+    EXPECT_EQ(fuClassOf(Opcode::Load), FuClass::MemRead);
+    EXPECT_EQ(fuClassOf(Opcode::Prefetch), FuClass::MemRead);
+    EXPECT_EQ(fuClassOf(Opcode::Store), FuClass::MemWrite);
+    EXPECT_EQ(fuClassOf(Opcode::Branch), FuClass::BranchU);
+    EXPECT_TRUE(isMemOp(Opcode::Load));
+    EXPECT_TRUE(isMemOp(Opcode::Prefetch));
+    EXPECT_FALSE(isMemOp(Opcode::Add));
+    EXPECT_TRUE(isControlOp(Opcode::Jump));
+    EXPECT_FALSE(isControlOp(Opcode::Halt));
+}
+
+TEST(Builder, TracksRegisterCount)
+{
+    ProgramBuilder builder;
+    RegId a = builder.newReg();
+    RegId b = builder.movImm(1);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    builder.halt();
+    Program prog = builder.take();
+    EXPECT_EQ(prog.numRegs, 2u);
+}
+
+TEST(Builder, LabelsPatchForwardAndBackward)
+{
+    ProgramBuilder builder;
+    RegId c = builder.movImm(1);
+    auto back = builder.newLabel();
+    builder.bind(back);
+    auto fwd = builder.newLabel();
+    builder.branch(c, fwd);        // forward reference
+    builder.jump(back);            // backward reference
+    builder.bind(fwd);
+    builder.halt();
+    Program prog = builder.take();
+    EXPECT_EQ(prog.code[1].target, 3); // branch -> halt
+    EXPECT_EQ(prog.code[2].target, 1); // jump -> branch
+}
+
+TEST(Builder, UnboundLabelPanics)
+{
+    ProgramBuilder builder;
+    RegId c = builder.movImm(1);
+    auto label = builder.newLabel();
+    builder.branch(c, label);
+    EXPECT_DEATH(builder.take(), "label never bound");
+}
+
+TEST(Builder, InterleavePreservesOrderWithinEachPath)
+{
+    ProgramBuilder builder;
+    SeqBuilder a(builder), b(builder);
+    RegId ra = builder.newReg(), rb = builder.newReg();
+    for (int i = 0; i < 10; ++i)
+        a.chainOpImm(Opcode::Add, ra, i);
+    for (int i = 0; i < 5; ++i)
+        b.chainOpImm(Opcode::Sub, rb, i);
+    builder.appendInterleaved({a.take(), b.take()});
+    Program prog = builder.take();
+
+    ASSERT_EQ(prog.size(), 15u);
+    std::vector<std::int64_t> adds, subs;
+    for (const auto &inst : prog.code) {
+        if (inst.op == Opcode::Add)
+            adds.push_back(inst.imm);
+        else
+            subs.push_back(inst.imm);
+    }
+    EXPECT_EQ(adds, (std::vector<std::int64_t>{0,1,2,3,4,5,6,7,8,9}));
+    EXPECT_EQ(subs, (std::vector<std::int64_t>{0,1,2,3,4}));
+    // Proportional: the shorter path must not be bunched at one end.
+    EXPECT_EQ(prog.code[0].op, Opcode::Add);
+    EXPECT_EQ(prog.code[1].op, Opcode::Sub);
+}
+
+TEST(Builder, DisassemblyIsReadable)
+{
+    ProgramBuilder builder;
+    RegId r = builder.movImm(7);
+    builder.loadOrdered(0x1000, r);
+    builder.halt();
+    Program prog = builder.take();
+    const std::string text = prog.disassemble();
+    EXPECT_NE(text.find("movimm r0 = 7"), std::string::npos);
+    EXPECT_NE(text.find("load r1 = [0x1000 + r0*0 + -*1]"),
+              std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Builder, UseAfterTakePanics)
+{
+    ProgramBuilder builder;
+    builder.halt();
+    builder.take();
+    EXPECT_DEATH(builder.halt(), "after take");
+}
+
+TEST(PathEmbedding, TerminatorIsZeroAndOrdered)
+{
+    // The embedding contract: terminator value is 0, and it completes
+    // only after the expression (checked by timing a slow expression).
+    Machine machine;
+    ProgramBuilder builder("embed");
+    RegId head = builder.movImm(1234);
+    SeqBuilder seq(builder);
+    RegId term = embedExpression(seq, head,
+                                 TargetExpr::opChain(Opcode::Add, 50));
+    builder.appendInterleaved({seq.take()});
+    // Store the terminator so we can check its architectural value.
+    builder.storeOrdered(0x100, term, term);
+    builder.halt();
+    Program prog = builder.take();
+    RunResult result = machine.run(prog);
+    EXPECT_EQ(machine.peek(0x100), 0);
+    EXPECT_GE(result.cycles(), 50u) << "embedding must not skip work";
+}
+
+TEST(PathEmbedding, LoadChainChasesAllAddresses)
+{
+    Machine machine;
+    ProgramBuilder builder("chain_expr");
+    RegId head = builder.movImm(0);
+    SeqBuilder seq(builder);
+    embedExpression(seq, head,
+                    TargetExpr::loadChain({0x1000, 0x2000, 0x3000}));
+    builder.appendInterleaved({seq.take()});
+    builder.halt();
+    Program prog = builder.take();
+    machine.run(prog);
+    machine.settle();
+    EXPECT_NE(machine.probeLevel(0x1000), 0);
+    EXPECT_NE(machine.probeLevel(0x2000), 0);
+    EXPECT_NE(machine.probeLevel(0x3000), 0);
+}
+
+TEST(PathEmbedding, EmptyExpressionIsCheap)
+{
+    Machine machine;
+    ProgramBuilder builder("empty");
+    RegId head = builder.movImm(0);
+    SeqBuilder seq(builder);
+    embedExpression(seq, head, TargetExpr::empty());
+    builder.appendInterleaved({seq.take()});
+    builder.halt();
+    Program prog = builder.take();
+    EXPECT_LT(machine.run(prog).cycles(), 30u);
+}
+
+TEST(Programs, RdtscReadsTheClock)
+{
+    Machine machine;
+    ProgramBuilder builder("rdtsc");
+    Instruction ts;
+    ts.op = Opcode::Rdtsc;
+    ts.dst = builder.newReg();
+    builder.emit(ts);
+    builder.storeOrdered(0x100, ts.dst, ts.dst);
+    builder.halt();
+    Program prog = builder.take();
+    machine.run(prog);
+    const std::int64_t t1 = machine.peek(0x100);
+    machine.run(prog);
+    const std::int64_t t2 = machine.peek(0x100);
+    EXPECT_GT(t2, t1);
+}
+
+} // namespace
+} // namespace hr

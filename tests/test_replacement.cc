@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Replacement-policy unit tests and cross-policy property sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "cache/replacement.hh"
+#include "util/rng.hh"
+
+namespace hr
+{
+namespace
+{
+
+TEST(TreePlru, VictimFollowsPointers)
+{
+    TreePlruPolicy plru(4);
+    // All bits 0: victim is way 0.
+    EXPECT_EQ(plru.victim(), 0);
+    plru.setBits({1, 0, 0});
+    EXPECT_EQ(plru.victim(), 2);
+    plru.setBits({1, 0, 1});
+    EXPECT_EQ(plru.victim(), 3);
+    plru.setBits({0, 1, 1});
+    EXPECT_EQ(plru.victim(), 1);
+}
+
+TEST(TreePlru, TouchPointsAwayFromAccessedWay)
+{
+    TreePlruPolicy plru(4);
+    plru.touch(0);
+    // Root points right (away from 0), left node points right.
+    EXPECT_EQ(plru.bits()[0], 1);
+    EXPECT_EQ(plru.bits()[1], 1);
+    EXPECT_NE(plru.victim(), 0);
+
+    plru.touch(3);
+    EXPECT_EQ(plru.bits()[0], 0);
+    EXPECT_EQ(plru.bits()[2], 0);
+    EXPECT_NE(plru.victim(), 3);
+}
+
+TEST(TreePlru, TouchedWayIsNeverTheImmediateVictim)
+{
+    for (int assoc : {2, 4, 8, 16, 32}) {
+        TreePlruPolicy plru(assoc);
+        Rng rng(assoc);
+        for (int step = 0; step < 200; ++step) {
+            const int way =
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                    assoc)));
+            plru.touch(way);
+            EXPECT_NE(plru.victim(), way) << "assoc=" << assoc;
+        }
+    }
+}
+
+TEST(TreePlru, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(TreePlruPolicy(3), std::runtime_error);
+    EXPECT_THROW(TreePlruPolicy(12), std::runtime_error);
+    EXPECT_THROW(TreePlruPolicy(1), std::runtime_error);
+}
+
+TEST(TreePlru, Fig3InitialStateConstruction)
+{
+    // The Fig. 3(1) recipe: fill ways 0..3, then re-touch way 2.
+    TreePlruPolicy plru(4);
+    plru.touch(0);
+    plru.touch(1);
+    plru.touch(2);
+    plru.touch(3);
+    plru.touch(2);
+    EXPECT_EQ(plru.bits(), (std::vector<std::uint8_t>{0, 0, 1}));
+    EXPECT_EQ(plru.victim(), 0);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru(4);
+    for (int w = 0; w < 4; ++w)
+        lru.touch(w);
+    EXPECT_EQ(lru.victim(), 0);
+    lru.touch(0);
+    EXPECT_EQ(lru.victim(), 1);
+    lru.touch(2);
+    EXPECT_EQ(lru.victim(), 1);
+    lru.touch(1);
+    EXPECT_EQ(lru.victim(), 3);
+}
+
+TEST(Lru, InvalidateMakesWayVictim)
+{
+    LruPolicy lru(4);
+    for (int w = 0; w < 4; ++w)
+        lru.touch(w);
+    lru.invalidate(2);
+    EXPECT_EQ(lru.victim(), 2);
+}
+
+TEST(Random, IsDeterministicPerSeed)
+{
+    RandomPolicy a(8, Rng(77)), b(8, Rng(77)), c(8, Rng(78));
+    std::vector<int> va, vb, vc;
+    for (int i = 0; i < 32; ++i) {
+        va.push_back(a.victim());
+        vb.push_back(b.victim());
+        vc.push_back(c.victim());
+    }
+    EXPECT_EQ(va, vb);
+    EXPECT_NE(va, vc);
+}
+
+TEST(Random, CoversAllWays)
+{
+    RandomPolicy random(8, Rng(1));
+    std::set<int> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(random.victim());
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Nru, EvictsNotRecentlyUsedFirst)
+{
+    NruPolicy nru(4);
+    nru.touch(1);
+    nru.touch(3);
+    const int victim = nru.victim();
+    EXPECT_TRUE(victim == 0 || victim == 2);
+}
+
+TEST(Nru, SaturationAgesOthers)
+{
+    NruPolicy nru(2);
+    nru.touch(0);
+    nru.touch(1); // saturates: everyone aged, way 1 re-marked
+    EXPECT_EQ(nru.victim(), 0);
+}
+
+TEST(Srrip, HitsPromoteInsertionsAgeOut)
+{
+    SrripPolicy srrip(4);
+    for (int w = 0; w < 4; ++w)
+        srrip.touch(w); // fills at rrpv 2
+    srrip.touch(0);     // hit: rrpv 0
+    // Victim must not be the promoted way.
+    EXPECT_NE(srrip.victim(), 0);
+}
+
+TEST(PolicyNames, RoundTrip)
+{
+    for (PolicyKind kind : {PolicyKind::TreePlru, PolicyKind::Lru,
+                            PolicyKind::Random, PolicyKind::Nru,
+                            PolicyKind::Srrip}) {
+        EXPECT_EQ(policyKindFromName(policyKindName(kind)), kind);
+    }
+    EXPECT_THROW(policyKindFromName("fifo"), std::runtime_error);
+}
+
+// ---- property sweep across (policy, associativity) ------------------
+
+using PolicyCase = std::tuple<PolicyKind, int>;
+
+class PolicyProperties : public ::testing::TestWithParam<PolicyCase>
+{
+  protected:
+    std::unique_ptr<ReplacementPolicy>
+    make() const
+    {
+        auto [kind, assoc] = GetParam();
+        return makePolicy(kind, assoc, 99);
+    }
+};
+
+TEST_P(PolicyProperties, VictimAlwaysInRange)
+{
+    auto policy = make();
+    Rng rng(3);
+    for (int step = 0; step < 300; ++step) {
+        const int victim = policy->victim();
+        EXPECT_GE(victim, 0);
+        EXPECT_LT(victim, policy->assoc());
+        policy->touch(static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(policy->assoc()))));
+    }
+}
+
+TEST_P(PolicyProperties, CloneBehavesIdentically)
+{
+    auto policy = make();
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i)
+        policy->touch(static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(policy->assoc()))));
+    auto clone = policy->clone();
+    // Same subsequent behaviour on the same access stream.
+    Rng rng2(7);
+    for (int i = 0; i < 50; ++i) {
+        const int way = static_cast<int>(
+            rng2.below(static_cast<std::uint64_t>(policy->assoc())));
+        EXPECT_EQ(policy->victim(), clone->victim()) << "step " << i;
+        policy->touch(way);
+        clone->touch(way);
+    }
+}
+
+TEST_P(PolicyProperties, StateStringIsStable)
+{
+    auto policy = make();
+    policy->touch(0);
+    EXPECT_EQ(policy->stateString(), policy->clone()->stateString());
+    EXPECT_FALSE(policy->stateString().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperties,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::TreePlru, PolicyKind::Lru,
+                          PolicyKind::Random, PolicyKind::Nru,
+                          PolicyKind::Srrip),
+        ::testing::Values(2, 4, 8, 16)),
+    [](const ::testing::TestParamInfo<PolicyCase> &info) {
+        return policyKindName(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// LRU-specific invariant: an access stream of distinct lines evicts in
+// insertion order (used implicitly by the eviction-set attack).
+TEST(Lru, StreamEvictsInInsertionOrder)
+{
+    LruPolicy lru(4);
+    for (int w = 0; w < 4; ++w)
+        lru.touch(w);
+    std::vector<int> evictions;
+    for (int i = 0; i < 4; ++i) {
+        const int victim = lru.victim();
+        evictions.push_back(victim);
+        lru.touch(victim); // "refill" the way
+    }
+    EXPECT_EQ(evictions, (std::vector<int>{0, 1, 2, 3}));
+}
+
+} // namespace
+} // namespace hr

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Coarse-timer model and utility-layer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timer/coarse_timer.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace hr
+{
+namespace
+{
+
+TEST(CoarseTimer, QuantizesToResolution)
+{
+    CoarseTimer timer; // 5 us at 2 GHz
+    // 5 us = 10000 cycles.
+    EXPECT_EQ(timer.nowNs(0), 0.0);
+    EXPECT_EQ(timer.nowNs(9999), 0.0);
+    EXPECT_EQ(timer.nowNs(10000), 5000.0);
+    EXPECT_EQ(timer.nowNs(25000), 10000.0);
+}
+
+TEST(CoarseTimer, SubResolutionIsInvisible)
+{
+    CoarseTimer timer;
+    // A 100ns event inside one tick: elapsed reads zero.
+    EXPECT_EQ(timer.elapsedNs(1000, 1200), 0.0);
+    EXPECT_FALSE(timer.distinguishable(1000, 1200));
+    // 6 us apart: visible.
+    EXPECT_TRUE(timer.distinguishable(0, 12000));
+}
+
+TEST(CoarseTimer, JitterFuzzesEdgesDeterministically)
+{
+    TimerConfig config;
+    config.jitterNs = 1000;
+    config.rngSeed = 4;
+    CoarseTimer a(config), b(config);
+    for (Cycle c : {5000u, 9990u, 10010u, 20000u})
+        EXPECT_EQ(a.nowNs(c), b.nowNs(c));
+}
+
+TEST(CoarseTimer, VeryCoarsePreset)
+{
+    CoarseTimer timer(TimerConfig::veryCoarse());
+    EXPECT_EQ(timer.nowNs(2'000'000), 0.0); // 1 ms < 100 ms tick
+}
+
+TEST(Rng, DeterministicAndWellDistributed)
+{
+    Rng a(1), b(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+
+    Rng rng(2);
+    int buckets[10] = {};
+    for (int i = 0; i < 10000; ++i)
+        ++buckets[rng.below(10)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(Rng, RangeAndChance)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    int heads = 0;
+    for (int i = 0; i < 2000; ++i)
+        heads += rng.chance(0.25);
+    EXPECT_NEAR(heads, 500, 80);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(4);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(SampleStats, MomentsAndPercentiles)
+{
+    SampleStats stats;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        stats.add(x);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_NEAR(stats.stddev(), 1.5811, 1e-3);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.median(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(100), 5.0);
+}
+
+TEST(Histogram, BinningAndOverlap)
+{
+    Histogram a(0, 10, 10), b(0, 10, 10);
+    for (int i = 0; i < 100; ++i) {
+        a.add(2.5);
+        b.add(7.5);
+    }
+    EXPECT_EQ(a.binCount(2), 100u);
+    EXPECT_DOUBLE_EQ(a.overlap(b), 0.0);
+    Histogram c(0, 10, 10);
+    for (int i = 0; i < 100; ++i)
+        c.add(2.5);
+    EXPECT_DOUBLE_EQ(a.overlap(c), 1.0);
+    // Out-of-range clamps.
+    a.add(-5);
+    a.add(50);
+    EXPECT_EQ(a.binCount(0), 1u);
+    EXPECT_EQ(a.binCount(9), 1u);
+}
+
+TEST(StatsHelpers, CorrelationAndSlope)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{2, 4, 6, 8, 10};
+    EXPECT_NEAR(correlation(x, y), 1.0, 1e-9);
+    EXPECT_NEAR(linearSlope(x, y), 2.0, 1e-9);
+    std::vector<double> anti{10, 8, 6, 4, 2};
+    EXPECT_NEAR(correlation(x, anti), -1.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table table({"a", "bbbb"});
+    table.addRow({"1", "2"});
+    table.addRow({"333", "4"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("a    bbbb"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_THROW(table.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(Series, RecordsAndRenders)
+{
+    Series series("s", "x", "y");
+    series.add(1, 10);
+    series.add(2, 20);
+    EXPECT_EQ(series.xs().size(), 2u);
+    EXPECT_NE(series.render().find("# series: s"), std::string::npos);
+}
+
+} // namespace
+} // namespace hr
