@@ -1,52 +1,77 @@
-/** Fig. 3 reproduction: PLRU state walkthrough, A present / A first. */
+/** Fig. 3 scenario: PLRU state walkthrough, A present / A first. */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 #include "gadgets/plru_pattern.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
-int
-main()
+namespace hr
 {
-    banner("Fig. 3: PLRU magnifier walkthrough (A present / A first)",
-           "misses every other access, in a 6-access period, with A "
-           "never evicted");
+namespace
+{
 
-    // ids: 0=A 1=B 2=C 3=D 4=E.
-    PlruSetModel model(4);
-    for (int line : {1, 2, 3, 4, 3})
-        model.access(line); // Fig. 3(1): [B C D E], candidate B
+class Fig03PlruWalkthrough : public Scenario
+{
+  public:
+    std::string name() const override { return "fig03_plru_walkthrough"; }
 
-    Table table({"step", "access", "result", "ways", "candidate"});
-    auto name = [](int line) {
-        return std::string(1, static_cast<char>('A' + line));
-    };
-    table.addRow({"(1)", "-", "-", model.render(),
-                  name(model.evictionCandidate())});
-
-    int step = 2;
-    auto record = [&](int line) {
-        const bool miss = model.access(line);
-        table.addRow({"(" + std::to_string(step++) + ")", name(line),
-                      miss ? "MISS" : "hit", model.render(),
-                      name(model.evictionCandidate())});
-    };
-
-    record(0); // A arrives (racing gadget)
-    // Two periods of the magnifier pattern (B,C,E,C,D,C).
-    int misses = 0;
-    for (int period = 0; period < 2; ++period) {
-        for (int line : {1, 2, 4, 2, 3, 2}) {
-            const bool was = model.contains(line);
-            record(line);
-            misses += was ? 0 : 1;
-        }
+    std::string
+    title() const override
+    {
+        return "Fig. 3: PLRU magnifier walkthrough (A present / A first)";
     }
-    table.print();
-    std::printf("\nmisses over 2 periods: %d (paper: 3 per period)\n",
-                misses);
-    std::printf("A resident at end: %s (paper: never evicted)\n",
-                model.contains(0) ? "yes" : "NO");
-    return model.contains(0) && misses == 6 ? 0 : 1;
-}
+
+    std::string
+    paperClaim() const override
+    {
+        return "misses every other access, in a 6-access period, with A "
+               "never evicted";
+    }
+
+    ResultTable
+    run(ScenarioContext &) override
+    {
+        // ids: 0=A 1=B 2=C 3=D 4=E.
+        PlruSetModel model(4);
+        for (int line : {1, 2, 3, 4, 3})
+            model.access(line); // Fig. 3(1): [B C D E], candidate B
+
+        Table table({"step", "access", "result", "ways", "candidate"});
+        auto name = [](int line) {
+            return std::string(1, static_cast<char>('A' + line));
+        };
+        table.addRow({"(1)", "-", "-", model.render(),
+                      name(model.evictionCandidate())});
+
+        int step = 2;
+        auto record = [&](int line) {
+            const bool miss = model.access(line);
+            table.addRow({"(" + std::to_string(step++) + ")", name(line),
+                          miss ? "MISS" : "hit", model.render(),
+                          name(model.evictionCandidate())});
+        };
+
+        record(0); // A arrives (racing gadget)
+        // Two periods of the magnifier pattern (B,C,E,C,D,C).
+        int misses = 0;
+        for (int period = 0; period < 2; ++period) {
+            for (int line : {1, 2, 4, 2, 3, 2}) {
+                const bool was = model.contains(line);
+                record(line);
+                misses += was ? 0 : 1;
+            }
+        }
+
+        ResultTable result;
+        result.addTable("", std::move(table));
+        result.addMetric("misses over 2 periods", misses, "3 per period");
+        result.addCheck("A resident at end (paper: never evicted)",
+                        model.contains(0));
+        result.addCheck("3 misses per period", misses == 6);
+        return result;
+    }
+};
+
+HR_REGISTER_SCENARIO(Fig03PlruWalkthrough);
+
+} // namespace
+} // namespace hr

@@ -1,50 +1,80 @@
-/** Fig. 4 reproduction: PLRU walkthrough with B inserted before A. */
+/** Fig. 4 scenario: PLRU walkthrough with B inserted before A. */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 #include "gadgets/plru_pattern.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
-int
-main()
+namespace hr
 {
-    banner("Fig. 4: PLRU reorder magnifier, B before A",
-           "A is evicted at step (6); no more misses after that");
+namespace
+{
 
-    PlruSetModel model(4);
-    for (int line : {1, 2, 3, 4, 3})
-        model.access(line); // Fig. 3(1) initial state
+class Fig04PlruEviction : public Scenario
+{
+  public:
+    std::string name() const override { return "fig04_plru_eviction"; }
 
-    Table table({"step", "access", "result", "ways", "A resident"});
-    auto name = [](int line) {
-        return std::string(1, static_cast<char>('A' + line));
-    };
-    int step = 1;
-    int evicted_at = -1;
-    auto record = [&](int line) {
-        const bool miss = model.access(line);
-        if (!model.contains(0) && evicted_at < 0)
-            evicted_at = step;
-        table.addRow({"(" + std::to_string(step++) + ")", name(line),
-                      miss ? "MISS" : "hit", model.render(),
-                      model.contains(0) ? "yes" : "no"});
-    };
-
-    record(1); // racing gadget: B first (hit)
-    record(0); // then A fills
-    // Reorder pattern (C,E,C,D,C,B) repeated.
-    int late_misses = 0;
-    for (int period = 0; period < 3; ++period) {
-        for (int line : {2, 4, 2, 3, 2, 1}) {
-            const bool was = model.contains(line);
-            record(line);
-            if (step > 9)
-                late_misses += was ? 0 : 1;
-        }
+    std::string
+    title() const override
+    {
+        return "Fig. 4: PLRU reorder magnifier, B before A";
     }
-    table.print();
-    std::printf("\nA evicted at step (%d) (paper: step 6)\n", evicted_at);
-    std::printf("misses after step 9: %d (paper: none)\n", late_misses);
-    return evicted_at > 0 && evicted_at <= 7 && late_misses == 0 ? 0 : 1;
-}
+
+    std::string
+    paperClaim() const override
+    {
+        return "A is evicted at step (6); no more misses after that";
+    }
+
+    ResultTable
+    run(ScenarioContext &) override
+    {
+        PlruSetModel model(4);
+        for (int line : {1, 2, 3, 4, 3})
+            model.access(line); // Fig. 3(1) initial state
+
+        Table table({"step", "access", "result", "ways", "A resident"});
+        auto name = [](int line) {
+            return std::string(1, static_cast<char>('A' + line));
+        };
+        int step = 1;
+        int evicted_at = -1;
+        bool a_seen = false;
+        auto record = [&](int line) {
+            const bool miss = model.access(line);
+            a_seen |= model.contains(0);
+            if (a_seen && !model.contains(0) && evicted_at < 0)
+                evicted_at = step;
+            table.addRow({"(" + std::to_string(step++) + ")", name(line),
+                          miss ? "MISS" : "hit", model.render(),
+                          model.contains(0) ? "yes" : "no"});
+        };
+
+        record(1); // racing gadget: B first (hit)
+        record(0); // then A fills
+        // Reorder pattern (C,E,C,D,C,B) repeated.
+        int late_misses = 0;
+        for (int period = 0; period < 3; ++period) {
+            for (int line : {2, 4, 2, 3, 2, 1}) {
+                const bool was = model.contains(line);
+                record(line);
+                if (step > 9)
+                    late_misses += was ? 0 : 1;
+            }
+        }
+
+        ResultTable result;
+        result.addTable("", std::move(table));
+        result.addMetric("A evicted at step", evicted_at, "step 6");
+        result.addMetric("misses after step 9", late_misses, "none");
+        result.addCheck("A evicted early (paper: step 6)",
+                        evicted_at > 0 && evicted_at <= 7);
+        result.addCheck("no misses after step 9", late_misses == 0);
+        return result;
+    }
+};
+
+HR_REGISTER_SCENARIO(Fig04PlruEviction);
+
+} // namespace
+} // namespace hr

@@ -1,53 +1,85 @@
-/** Fig. 7 reproduction: repetition-gadget time stacks. */
+/** Fig. 7 scenario: repetition-gadget time stacks. */
 
-#include "bench_common.hh"
+#include <cstdlib>
+
 #include "attacks/flush_reload.hh"
+#include "exp/registry.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
+namespace hr
+{
 namespace
 {
 
-void
-printStacks(const char *title, const FlushReloadOutcome &outcome)
+class Fig07RepetitionStack : public Scenario
 {
-    std::printf("%s\n", title);
-    Table table({"case", "evict%", "load%", "reload%",
-                 "total (cycles)"});
-    // Fig. 7b normalizes both cases to the same-address total.
-    const double norm = static_cast<double>(outcome.sameAddr.total());
-    auto row = [&](const char *name, const StageBreakdown &stages) {
-        table.addRow({name,
-                      Table::num(100.0 * stages.cycles[0] / norm, 1),
-                      Table::num(100.0 * stages.cycles[1] / norm, 1),
-                      Table::num(100.0 * stages.cycles[2] / norm, 1),
-                      Table::integer(static_cast<long long>(
-                          stages.total()))});
-    };
-    row("same addr", outcome.sameAddr);
-    row("different addr", outcome.diffAddr);
-    table.print();
-    std::printf("total-time signal: %lld cycles\n\n",
-                static_cast<long long>(outcome.totalSignal()));
-}
+  public:
+    std::string name() const override { return "fig07_repetition_stack"; }
+
+    std::string
+    title() const override
+    {
+        return "Fig. 7: repetition gadgets need racing gadgets";
+    }
+
+    std::string
+    paperClaim() const override
+    {
+        return "(a) plain repetition: load/reload deltas cancel, no total "
+               "signal; (b) racing envelope on the load stage: reload "
+               "delta survives into the total";
+    }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        Machine machine(ctx.machineConfig());
+        FlushReloadConfig config;
+        FlushReloadRepetition study(machine, config);
+
+        ResultTable result;
+        const FlushReloadOutcome plain = study.runPlain();
+        const FlushReloadOutcome racing = study.runWithRacingGadget();
+        addStacks(result, "(a) plain repetition", plain);
+        addStacks(result, "(b) load stage hidden in a racing gadget",
+                  racing);
+        // "No signal" = the residual is lost in the run time (< 1%),
+        // not merely smaller than the racing variant's signal.
+        result.addCheck("plain repetition has no total-time signal",
+                        std::llabs(plain.totalSignal()) <
+                            static_cast<std::int64_t>(
+                                plain.sameAddr.total() / 100));
+        result.addCheck("racing envelope preserves a total-time signal",
+                        racing.totalSignal() > 0);
+        return result;
+    }
+
+  private:
+    static void
+    addStacks(ResultTable &result, const std::string &title,
+              const FlushReloadOutcome &outcome)
+    {
+        Table table(
+            {"case", "evict%", "load%", "reload%", "total (cycles)"});
+        // Fig. 7b normalizes both cases to the same-address total.
+        const double norm = static_cast<double>(outcome.sameAddr.total());
+        auto row = [&](const char *name, const StageBreakdown &stages) {
+            table.addRow({name,
+                          Table::num(100.0 * stages.cycles[0] / norm, 1),
+                          Table::num(100.0 * stages.cycles[1] / norm, 1),
+                          Table::num(100.0 * stages.cycles[2] / norm, 1),
+                          Table::integer(static_cast<long long>(
+                              stages.total()))});
+        };
+        row("same addr", outcome.sameAddr);
+        row("different addr", outcome.diffAddr);
+        result.addTable(title, std::move(table));
+        result.addMetric(title + ": total-time signal (cycles)",
+                         static_cast<double>(outcome.totalSignal()));
+    }
+};
+
+HR_REGISTER_SCENARIO(Fig07RepetitionStack);
 
 } // namespace
-
-int
-main()
-{
-    banner("Fig. 7: repetition gadgets need racing gadgets",
-           "(a) plain repetition: load/reload deltas cancel, no total "
-           "signal; (b) racing envelope on the load stage: reload "
-           "delta survives into the total");
-
-    Machine machine;
-    FlushReloadConfig config;
-    FlushReloadRepetition study(machine, config);
-
-    printStacks("(a) plain repetition:", study.runPlain());
-    printStacks("(b) load stage hidden in a racing gadget:",
-                study.runWithRacingGadget());
-    return 0;
-}
+} // namespace hr

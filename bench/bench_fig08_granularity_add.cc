@@ -1,12 +1,12 @@
-/** Fig. 8 reproduction: racing-gadget granularity, ADD reference path. */
+/** Fig. 8 scenario: racing-gadget granularity, ADD reference path. */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 #include "gadgets/racing.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
+namespace hr
+{
 namespace
 {
 
@@ -16,13 +16,13 @@ namespace
  * longest fitting baseline loses (ROB cap).
  */
 int
-thresholdRefOps(Opcode target_op, int target_ops, Opcode ref_op,
-                int max_ref)
+thresholdRefOps(const MachineConfig &mc, Opcode target_op, int target_ops,
+                Opcode ref_op, int max_ref)
 {
     int lo = 1, hi = max_ref, found = -1;
     while (lo <= hi) {
         const int mid = (lo + hi) / 2;
-        Machine machine(MachineConfig::effectiveWindowProfile());
+        Machine machine(mc);
         TransientPaRaceConfig config;
         config.refOp = ref_op;
         config.refOps = mid;
@@ -39,53 +39,108 @@ thresholdRefOps(Opcode target_op, int target_ops, Opcode ref_op,
     return found;
 }
 
-} // namespace
-
-int
-main()
+class Fig08GranularityAdd : public Scenario
 {
-    banner("Fig. 8: target ops measured by an ADD reference path",
-           "slope ~= latency ratio (1 for add/lea, 3 for mul); "
-           "granularity 1-3 ops; ref path capped ~54 by the ROB");
+  public:
+    std::string name() const override { return "fig08_granularity_add"; }
 
-    Table table({"target ops", "ref ADDs (add)", "ref ADDs (mul)",
-                 "ref ADDs (lea)"});
-    Series add_series("add-target", "target op count", "ref ADDs");
-    for (int n = 2; n <= 40; n += 2) {
-        const int add_thr = thresholdRefOps(Opcode::Add, n,
-                                            Opcode::Add, 60);
-        const int mul_thr = thresholdRefOps(Opcode::Mul, n,
-                                            Opcode::Add, 60);
-        const int lea_thr = thresholdRefOps(Opcode::Lea, n,
-                                            Opcode::Add, 60);
+    std::string
+    title() const override
+    {
+        return "Fig. 8: target ops measured by an ADD reference path";
+    }
+
+    std::string
+    paperClaim() const override
+    {
+        return "slope ~= latency ratio (1 for add/lea, 3 for mul); "
+               "granularity 1-3 ops; ref path capped ~54 by the ROB";
+    }
+
+    std::string defaultProfile() const override
+    {
+        return "effective_window";
+    }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        const MachineConfig mc = ctx.machineConfig();
+        const int max_n = ctx.quick() ? 6 : 40;
+
+        std::vector<int> targets;
+        for (int n = 2; n <= max_n; n += 2)
+            targets.push_back(n);
+
+        struct Point
+        {
+            int add_thr = -1, mul_thr = -1, lea_thr = -1;
+        };
+        const std::vector<Point> points = ctx.parallelMap(
+            static_cast<int>(targets.size()), [&](int i, Rng &) {
+                const int n = targets[static_cast<std::size_t>(i)];
+                Point p;
+                p.add_thr =
+                    thresholdRefOps(mc, Opcode::Add, n, Opcode::Add, 60);
+                p.mul_thr =
+                    thresholdRefOps(mc, Opcode::Mul, n, Opcode::Add, 60);
+                p.lea_thr =
+                    thresholdRefOps(mc, Opcode::Lea, n, Opcode::Add, 60);
+                return p;
+            });
+
+        Table table({"target ops", "ref ADDs (add)", "ref ADDs (mul)",
+                     "ref ADDs (lea)"});
+        Series add_series("add-target", "target op count", "ref ADDs");
         auto cell = [](int v) {
             return v < 0 ? std::string("cap") : Table::integer(v);
         };
-        table.addRow({Table::integer(n), cell(add_thr), cell(mul_thr),
-                      cell(lea_thr)});
-        if (add_thr > 0)
-            add_series.add(n, add_thr);
-    }
-    table.print();
-    std::printf("\nadd-target slope: %.2f (paper: ~1)\n",
-                linearSlope(add_series.xs(), add_series.ys()));
-
-    // The ROB cap: a very slow expression cannot be out-raced once the
-    // baseline no longer fits the transient window.
-    int cap = -1;
-    for (int ref = 40; ref <= 70; ++ref) {
-        Machine machine(MachineConfig::effectiveWindowProfile());
-        TransientPaRaceConfig config;
-        config.refOps = ref;
-        TransientPaRace race(machine, config,
-                             TargetExpr::opChain(Opcode::Add, 500));
-        race.train();
-        if (!race.attackAndProbe()) {
-            cap = ref;
-            break;
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            const Point &p = points[i];
+            table.addRow({Table::integer(targets[i]), cell(p.add_thr),
+                          cell(p.mul_thr), cell(p.lea_thr)});
+            if (p.add_thr > 0)
+                add_series.add(targets[i], p.add_thr);
         }
+
+        const double slope =
+            linearSlope(add_series.xs(), add_series.ys());
+
+        ResultTable result;
+        result.addTable("", std::move(table));
+        result.addSeries(std::move(add_series));
+        result.addMetric("add-target slope", slope, "~1");
+
+        if (!ctx.quick()) {
+            // The ROB cap: a very slow expression cannot be out-raced
+            // once the baseline no longer fits the transient window.
+            const std::vector<char> lost = ctx.parallelMap(
+                31, [&](int i, Rng &) -> char {
+                    Machine machine(mc);
+                    TransientPaRaceConfig config;
+                    config.refOps = 40 + i;
+                    TransientPaRace race(
+                        machine, config,
+                        TargetExpr::opChain(Opcode::Add, 500));
+                    race.train();
+                    return race.attackAndProbe() ? 0 : 1;
+                });
+            int cap = -1;
+            for (std::size_t i = 0; i < lost.size(); ++i) {
+                if (lost[i]) {
+                    cap = 40 + static_cast<int>(i);
+                    break;
+                }
+            }
+            result.addMetric("longest usable ADD ref path",
+                             cap < 0 ? -1 : cap - 1, "54");
+            result.addCheck("ROB caps the baseline path", cap > 0);
+        }
+        return result;
     }
-    std::printf("longest usable ADD ref path: %s (paper: 54)\n",
-                cap < 0 ? "<= window" : Table::integer(cap - 1).c_str());
-    return 0;
-}
+};
+
+HR_REGISTER_SCENARIO(Fig08GranularityAdd);
+
+} // namespace
+} // namespace hr

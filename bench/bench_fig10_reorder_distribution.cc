@@ -1,67 +1,121 @@
-/** Fig. 10 reproduction: reorder-magnifier timing distributions. */
+/** Fig. 10 scenario: reorder-magnifier timing distributions. */
 
-#include "bench_common.hh"
+#include <algorithm>
+
+#include "exp/registry.hh"
 #include "gadgets/plru_magnifier.hh"
 #include "gadgets/racing.hh"
 #include "util/stats.hh"
 
-using namespace hr;
-
-int
-main()
+namespace hr
 {
-    banner("Fig. 10: reorder magnifier distributions after 4000 "
-           "pattern repetitions",
-           "almost no overlap between transmit-0 and transmit-1");
+namespace
+{
 
-    // Noisy machine (memory-latency jitter) so the distributions have
-    // realistic spread.
-    MachineConfig mc = MachineConfig::plruProfile();
-    mc.memory.l3Jitter = 8;
-    mc.memory.memJitter = 30;
-    Machine machine(mc);
-
-    auto config = PlruMagnifier::makeConfig(machine, 3, 4000);
-    PlruMagnifier magnifier(machine, config, PlruVariant::Reorder);
-
-    ReorderRaceConfig race_config;
-    race_config.addrA = config.a;
-    race_config.addrB = config.b;
-    race_config.refOps = 60; // the reference threshold T'
-
-    constexpr int kTrials = 120;
-    SampleStats slow_stats, fast_stats;
-    for (int trial = 0; trial < kTrials; ++trial) {
-        for (bool transmit_one : {false, true}) {
-            // transmit 1 = fast expression (A first), 0 = slow.
-            const int expr_ops = transmit_one ? 150 : 5;
-            magnifier.prime();
-            ReorderRace race(machine, race_config,
-                             TargetExpr::opChain(Opcode::Add, expr_ops));
-            race.run();
-            machine.settle();
-            const double ms =
-                machine.toNs(magnifier.traverse().cycles) / 1e6;
-            (transmit_one ? fast_stats : slow_stats).add(ms);
-        }
+class Fig10ReorderDistribution : public Scenario
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig10_reorder_distribution";
     }
 
-    const double lo = std::min(fast_stats.min(), slow_stats.min()) * 0.98;
-    const double hi = std::max(fast_stats.max(), slow_stats.max()) * 1.02;
-    Histogram fast_hist(lo, hi, 30), slow_hist(lo, hi, 30);
-    for (double x : fast_stats.samples())
-        fast_hist.add(x);
-    for (double x : slow_stats.samples())
-        slow_hist.add(x);
+    std::string
+    title() const override
+    {
+        return "Fig. 10: reorder magnifier distributions after 4000 "
+               "pattern repetitions";
+    }
 
-    std::printf("transmit 1 (fast): mean %.4f ms  sd %.4f\n",
-                fast_stats.mean(), fast_stats.stddev());
-    std::printf("%s\n", fast_hist.render(40).c_str());
-    std::printf("transmit 0 (slow): mean %.4f ms  sd %.4f\n",
-                slow_stats.mean(), slow_stats.stddev());
-    std::printf("%s\n", slow_hist.render(40).c_str());
-    const double overlap = fast_hist.overlap(slow_hist);
-    std::printf("distribution overlap: %.3f (paper: almost none)\n",
-                overlap);
-    return overlap < 0.05 ? 0 : 1;
-}
+    std::string
+    paperClaim() const override
+    {
+        return "almost no overlap between transmit-0 and transmit-1";
+    }
+
+    /* Noisy machine (memory-latency jitter) so the distributions have
+     * realistic spread. */
+    std::string defaultProfile() const override { return "noisy_plru"; }
+
+    int defaultTrials() const override { return 120; }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        const int repeats =
+            static_cast<int>(ctx.params().getInt(
+                "repeats", ctx.quick() ? 400 : 4000));
+
+        // Each trial runs on its own machine with a private jitter
+        // stream, so trials parallelize without sharing state.
+        struct TrialSample
+        {
+            double slow_ms = 0, fast_ms = 0;
+        };
+        const std::vector<TrialSample> samples =
+            ctx.mapTrials([&](int, Rng &rng) {
+                MachineConfig mc = ctx.machineConfig();
+                mc.memory.rngSeed = rng.next();
+                Machine machine(mc);
+                auto config =
+                    PlruMagnifier::makeConfig(machine, 3, repeats);
+                PlruMagnifier magnifier(machine, config,
+                                        PlruVariant::Reorder);
+                ReorderRaceConfig race_config;
+                race_config.addrA = config.a;
+                race_config.addrB = config.b;
+                race_config.refOps = 60; // the reference threshold T'
+
+                TrialSample sample;
+                for (bool transmit_one : {false, true}) {
+                    // transmit 1 = fast expression (A first), 0 = slow.
+                    const int expr_ops = transmit_one ? 150 : 5;
+                    magnifier.prime();
+                    ReorderRace race(
+                        machine, race_config,
+                        TargetExpr::opChain(Opcode::Add, expr_ops));
+                    race.run();
+                    machine.settle();
+                    const double ms =
+                        machine.toNs(magnifier.traverse().cycles) / 1e6;
+                    (transmit_one ? sample.fast_ms : sample.slow_ms) = ms;
+                }
+                return sample;
+            });
+
+        SampleStats slow_stats, fast_stats;
+        for (const TrialSample &sample : samples) {
+            slow_stats.add(sample.slow_ms);
+            fast_stats.add(sample.fast_ms);
+        }
+
+        const double lo =
+            std::min(fast_stats.min(), slow_stats.min()) * 0.98;
+        const double hi =
+            std::max(fast_stats.max(), slow_stats.max()) * 1.02;
+        Histogram fast_hist(lo, hi, 30), slow_hist(lo, hi, 30);
+        for (double x : fast_stats.samples())
+            fast_hist.add(x);
+        for (double x : slow_stats.samples())
+            slow_hist.add(x);
+        const double overlap = fast_hist.overlap(slow_hist);
+
+        ResultTable result;
+        result.addMetric("transmit-1 (fast) mean (ms)", fast_stats.mean());
+        result.addMetric("transmit-1 (fast) sd (ms)", fast_stats.stddev());
+        result.addMetric("transmit-0 (slow) mean (ms)", slow_stats.mean());
+        result.addMetric("transmit-0 (slow) sd (ms)", slow_stats.stddev());
+        result.addHistogram("transmit 1 (fast)", std::move(fast_hist));
+        result.addHistogram("transmit 0 (slow)", std::move(slow_hist));
+        result.addMetric("distribution overlap", overlap, "almost none");
+        result.addCheck("distributions separable (overlap < 0.05)",
+                        overlap < 0.05);
+        return result;
+    }
+};
+
+HR_REGISTER_SCENARIO(Fig10ReorderDistribution);
+
+} // namespace
+} // namespace hr

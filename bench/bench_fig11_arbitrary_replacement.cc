@@ -1,70 +1,118 @@
-/** Fig. 11 reproduction: arbitrary-replacement magnifier growth. */
+/** Fig. 11 scenario: arbitrary-replacement magnifier growth. */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 #include "gadgets/arbitrary_magnifier.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
-int
-main()
+namespace hr
 {
-    banner("Fig. 11: arbitrary-replacement magnifier with cache-set "
-           "reuse (32 sets, prefetch restoration)",
-           "timing difference grows with repeats to ~100 us; without "
-           "prefetching it saturates around 450 cycles (~225 ns)");
+namespace
+{
 
-    Series grow("with prefetch (lru)", "repeat num",
-                "timing difference (us)");
-    Series nopf("no prefetch (lru)", "repeat num",
-                "timing difference (us)");
-    Series rand_series("with prefetch (random)", "repeat num",
-                       "timing difference (us)");
-
-    for (int repeats : {10, 25, 50, 100, 200}) {
-        {
-            MachineConfig mc = MachineConfig::randomL1Profile();
-            mc.memory.l1.policy = PolicyKind::Lru;
-            Machine machine(mc);
-            ArbitraryMagnifierConfig config;
-            config.repeats = repeats;
-            ArbitraryMagnifier magnifier(machine, config);
-            grow.add(repeats,
-                     machine.toUs(magnifier.measureDelta()));
-        }
-        {
-            MachineConfig mc = MachineConfig::randomL1Profile();
-            mc.memory.l1.policy = PolicyKind::Lru;
-            Machine machine(mc);
-            ArbitraryMagnifierConfig config;
-            config.repeats = repeats;
-            config.prefetch = false;
-            ArbitraryMagnifier magnifier(machine, config);
-            nopf.add(repeats, machine.toUs(magnifier.measureDelta()));
-        }
-        {
-            Machine machine(MachineConfig::randomL1Profile());
-            ArbitraryMagnifierConfig config;
-            config.repeats = repeats;
-            ArbitraryMagnifier magnifier(machine, config);
-            rand_series.add(repeats,
-                            machine.toUs(magnifier.measureDelta()));
-        }
+class Fig11ArbitraryReplacement : public Scenario
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig11_arbitrary_replacement";
     }
-    grow.print();
-    std::printf("\n");
-    nopf.print();
-    std::printf("\n");
-    rand_series.print();
-    std::printf(
-        "\nshape: prefetch restoration sustains growth (paper: linear "
-        "to ~100 us); without it magnification is bounded by the set "
-        "count. Random replacement is noise-bounded in this model — "
-        "see EXPERIMENTS.md.\n");
-    const bool grows =
-        grow.ys().back() > 4.0 * grow.ys().front() &&
-        grow.ys().back() > 20.0; // > 5 us tick, by a wide margin
-    const bool saturates = nopf.ys().back() < 4.0 * nopf.ys().front() ||
-                           nopf.ys().back() < 2.0;
-    return grows && saturates ? 0 : 1;
-}
+
+    std::string
+    title() const override
+    {
+        return "Fig. 11: arbitrary-replacement magnifier with cache-set "
+               "reuse (32 sets, prefetch restoration)";
+    }
+
+    std::string
+    paperClaim() const override
+    {
+        return "timing difference grows with repeats to ~100 us; without "
+               "prefetching it saturates around 450 cycles (~225 ns)";
+    }
+
+    std::string defaultProfile() const override { return "random_l1"; }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        const std::vector<int> repeat_values =
+            ctx.quick() ? std::vector<int>{10, 25, 50}
+                        : std::vector<int>{10, 25, 50, 100, 200};
+
+        // Three variants per repeat count: LRU with prefetch, LRU
+        // without, random with prefetch. Every cell is an independent
+        // machine, so the whole grid fans out.
+        struct Cell
+        {
+            double lru_us = 0, nopf_us = 0, random_us = 0;
+        };
+        const std::vector<Cell> cells = ctx.parallelMap(
+            static_cast<int>(repeat_values.size()), [&](int i, Rng &) {
+                const int repeats =
+                    repeat_values[static_cast<std::size_t>(i)];
+                Cell cell;
+                cell.lru_us = measure(ctx, PolicyKind::Lru, repeats, true);
+                cell.nopf_us =
+                    measure(ctx, PolicyKind::Lru, repeats, false);
+                cell.random_us =
+                    measure(ctx, PolicyKind::Random, repeats, true);
+                return cell;
+            });
+
+        Series grow("with prefetch (lru)", "repeat num",
+                    "timing difference (us)");
+        Series nopf("no prefetch (lru)", "repeat num",
+                    "timing difference (us)");
+        Series rand_series("with prefetch (random)", "repeat num",
+                           "timing difference (us)");
+        for (std::size_t i = 0; i < repeat_values.size(); ++i) {
+            grow.add(repeat_values[i], cells[i].lru_us);
+            nopf.add(repeat_values[i], cells[i].nopf_us);
+            rand_series.add(repeat_values[i], cells[i].random_us);
+        }
+
+        const bool grows =
+            grow.ys().back() > 4.0 * grow.ys().front() &&
+            grow.ys().back() > 20.0; // > 5 us tick, by a wide margin
+        const bool saturates =
+            nopf.ys().back() < 4.0 * nopf.ys().front() ||
+            nopf.ys().back() < 2.0;
+
+        ResultTable result;
+        result.addSeries(std::move(grow));
+        result.addSeries(std::move(nopf));
+        result.addSeries(std::move(rand_series));
+        result.addNote(
+            "shape: prefetch restoration sustains growth (paper: linear "
+            "to ~100 us); without it magnification is bounded by the set "
+            "count. Random replacement is noise-bounded in this model — "
+            "see EXPERIMENTS.md.");
+        if (!ctx.quick()) {
+            result.addCheck("prefetch restoration sustains growth", grows);
+            result.addCheck("no-prefetch variant saturates", saturates);
+        }
+        return result;
+    }
+
+  private:
+    static double
+    measure(const ScenarioContext &ctx, PolicyKind policy, int repeats,
+            bool prefetch)
+    {
+        MachineConfig mc = ctx.machineConfig();
+        mc.memory.l1.policy = policy;
+        Machine machine(mc);
+        ArbitraryMagnifierConfig config;
+        config.repeats = repeats;
+        config.prefetch = prefetch;
+        ArbitraryMagnifier magnifier(machine, config);
+        return machine.toUs(magnifier.measureDelta());
+    }
+};
+
+HR_REGISTER_SCENARIO(Fig11ArbitraryReplacement);
+
+} // namespace
+} // namespace hr

@@ -1,13 +1,13 @@
-/** Section 8 ablation: hardware-counter detectability of the gadgets. */
+/** Section 8 scenario: hardware-counter detectability of the gadgets. */
 
-#include "bench_common.hh"
 #include "detect/detector.hh"
+#include "exp/registry.hh"
 #include "gadgets/arith_magnifier.hh"
 #include "gadgets/plru_magnifier.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
+namespace hr
+{
 namespace
 {
 
@@ -43,76 +43,123 @@ benignStreaming(Machine &machine)
     return builder.take();
 }
 
-} // namespace
-
-int
-main()
+struct WorkloadReport
 {
-    banner("Section 8: counter-based detection of magnifier gadgets",
-           "L1-miss storms flag the cache magnifiers; backend-bound "
-           "divider chains with no mispredicts flag the arithmetic one "
-           "— both only as weak classifiers");
+    std::string name;
+    DetectorFeatures features;
+    bool suspicious = false;
+    bool is_gadget = false;
+};
 
-    Detector detector;
-    Table table({"workload", "L1 miss/kinst", "backend-bound",
-                 "div share", "verdict"});
+class TabDetector : public Scenario
+{
+  public:
+    std::string name() const override { return "tab_detector"; }
 
-    auto report = [&](const char *name, const DetectorFeatures &f) {
-        const auto verdict = detector.classify(f);
-        table.addRow({name, Table::num(f.l1MissesPerKiloInstr, 1),
-                      Table::num(f.backendBoundRatio, 2),
-                      Table::num(f.divIssueShare, 3),
-                      verdict.suspicious ? "SUSPICIOUS" : "benign"});
-        return verdict.suspicious;
-    };
-
-    bool benign_flagged = false, gadgets_missed = false;
-
+    std::string
+    title() const override
     {
-        Machine machine;
-        Program prog = benignArithmetic();
-        benign_flagged |= report("benign arithmetic",
-                                 Detector::profile(machine, prog));
-    }
-    {
-        Machine machine;
-        Program prog = benignStreaming(machine);
-        benign_flagged |= report("benign streaming",
-                                 Detector::profile(machine, prog));
-    }
-    {
-        Machine machine(MachineConfig::plruProfile());
-        auto config = PlruMagnifier::makeConfig(machine, 3, 800);
-        PlruMagnifier magnifier(machine, config,
-                                PlruVariant::PresenceAbsence);
-        magnifier.prime();
-        machine.warm(config.a, 1);
-        ProgramBuilder builder("plru_storm");
-        RegId r = builder.movImm(0);
-        for (int rep = 0; rep < 800; ++rep)
-            for (Addr addr : magnifier.pattern())
-                builder.loadOrderedInto(r, addr);
-        builder.halt();
-        Program prog = builder.take();
-        gadgets_missed |= !report("PLRU magnifier",
-                                  Detector::profile(machine, prog));
-    }
-    {
-        Machine machine;
-        ArithMagnifierConfig config;
-        config.stages = 2000;
-        ArithMagnifier magnifier(machine, config);
-        machine.warm(config.alignAddrA, 1);
-        machine.flushLine(config.inputAddr);
-        machine.flushLine(config.syncAddr);
-        Program prog = magnifier.program();
-        gadgets_missed |= !report("arithmetic magnifier",
-                                  Detector::profile(machine, prog));
+        return "Section 8: counter-based detection of magnifier gadgets";
     }
 
-    table.print();
-    std::printf("\nfalse positives: %s; gadgets missed: %s\n",
-                benign_flagged ? "YES" : "none",
-                gadgets_missed ? "YES" : "none");
-    return !benign_flagged && !gadgets_missed ? 0 : 1;
-}
+    std::string
+    paperClaim() const override
+    {
+        return "L1-miss storms flag the cache magnifiers; backend-bound "
+               "divider chains with no mispredicts flag the arithmetic "
+               "one — both only as weak classifiers";
+    }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        const std::vector<WorkloadReport> reports =
+            ctx.parallelMap(4, [&](int i, Rng &) {
+                Detector detector;
+                WorkloadReport report;
+                switch (i) {
+                  case 0: {
+                    report.name = "benign arithmetic";
+                    Machine machine(ctx.machineConfig());
+                    Program prog = benignArithmetic();
+                    report.features = Detector::profile(machine, prog);
+                    break;
+                  }
+                  case 1: {
+                    report.name = "benign streaming";
+                    Machine machine(ctx.machineConfig());
+                    Program prog = benignStreaming(machine);
+                    report.features = Detector::profile(machine, prog);
+                    break;
+                  }
+                  case 2: {
+                    // The PLRU magnifier is defined on a 4-way
+                    // tree-PLRU L1, so this workload always runs on
+                    // the plru configuration.
+                    report.name = "PLRU magnifier";
+                    report.is_gadget = true;
+                    Machine machine(MachineConfig::plruProfile());
+                    auto config =
+                        PlruMagnifier::makeConfig(machine, 3, 800);
+                    PlruMagnifier magnifier(machine, config,
+                                            PlruVariant::PresenceAbsence);
+                    magnifier.prime();
+                    machine.warm(config.a, 1);
+                    ProgramBuilder builder("plru_storm");
+                    RegId r = builder.movImm(0);
+                    for (int rep = 0; rep < 800; ++rep)
+                        for (Addr addr : magnifier.pattern())
+                            builder.loadOrderedInto(r, addr);
+                    builder.halt();
+                    Program prog = builder.take();
+                    report.features = Detector::profile(machine, prog);
+                    break;
+                  }
+                  default: {
+                    report.name = "arithmetic magnifier";
+                    report.is_gadget = true;
+                    Machine machine(ctx.machineConfig());
+                    ArithMagnifierConfig config;
+                    config.stages = 2000;
+                    ArithMagnifier magnifier(machine, config);
+                    machine.warm(config.alignAddrA, 1);
+                    machine.flushLine(config.inputAddr);
+                    machine.flushLine(config.syncAddr);
+                    Program prog = magnifier.program();
+                    report.features = Detector::profile(machine, prog);
+                    break;
+                  }
+                }
+                report.suspicious =
+                    detector.classify(report.features).suspicious;
+                return report;
+            });
+
+        Table table({"workload", "L1 miss/kinst", "backend-bound",
+                     "div share", "verdict"});
+        bool benign_flagged = false, gadgets_missed = false;
+        for (const WorkloadReport &report : reports) {
+            table.addRow(
+                {report.name,
+                 Table::num(report.features.l1MissesPerKiloInstr, 1),
+                 Table::num(report.features.backendBoundRatio, 2),
+                 Table::num(report.features.divIssueShare, 3),
+                 report.suspicious ? "SUSPICIOUS" : "benign"});
+            if (report.is_gadget)
+                gadgets_missed |= !report.suspicious;
+            else
+                benign_flagged |= report.suspicious;
+        }
+
+        ResultTable result;
+        result.addTable("", std::move(table));
+        result.addCheck("no benign workload flagged", !benign_flagged);
+        result.addCheck("no gadget missed", !gadgets_missed);
+        return result;
+    }
+};
+
+HR_REGISTER_SCENARIO(TabDetector);
+
+} // namespace
+} // namespace hr

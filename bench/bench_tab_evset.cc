@@ -1,50 +1,101 @@
-/** Section 7.4 reproduction: LLC eviction-set generation. */
+/** Section 7.4 scenario: LLC eviction-set generation. */
 
-#include "bench_common.hh"
+#include <cstdio>
+
 #include "attacks/evset.hh"
+#include "exp/registry.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
-int
-main()
+namespace hr
 {
-    banner("Section 7.4: LLC eviction-set generation without "
-           "SharedArrayBuffer",
-           "100% success rate with the Hacky-Racers timer as the only "
-           "clock");
+namespace
+{
 
-    MachineConfig mc = MachineConfig::plruProfile();
-    mc.memory.l3.numSets = 256; // small LLC keeps the bench brisk
-    mc.memory.l3.assoc = 16;
-    mc.memory.l3.policy = PolicyKind::Lru;
+class TabEvset : public Scenario
+{
+  public:
+    std::string name() const override { return "tab_evset"; }
 
-    constexpr int kTrials = 5;
-    Table table({"trial", "target", "success", "congruent",
-                 "timer queries", "sim time (ms)"});
-    int successes = 0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-        Machine machine(mc);
-        EvSetConfig config;
-        config.seed = 1000 + static_cast<std::uint64_t>(trial);
-        EvictionSetGenerator generator(machine, config);
-        const Addr target =
-            0x7654'0000 + static_cast<Addr>(trial) * 0x1040;
-        EvSetResult result = generator.build(target);
-        successes += result.success && result.groundTruthCongruent;
-        char target_str[32];
-        std::snprintf(target_str, sizeof(target_str), "0x%llx",
-                      static_cast<unsigned long long>(target));
-        table.addRow({Table::integer(trial), target_str,
-                      result.success ? "yes" : "NO",
-                      result.groundTruthCongruent ? "yes" : "NO",
-                      Table::integer(static_cast<long long>(
-                          result.timerQueries)),
-                      Table::num(
-                          static_cast<double>(result.cycles) / 2e6, 1)});
+    std::string
+    title() const override
+    {
+        return "Section 7.4: LLC eviction-set generation without "
+               "SharedArrayBuffer";
     }
-    table.print();
-    std::printf("\nsuccess rate: %d/%d (paper: 100%%)\n", successes,
-                kTrials);
-    return successes == kTrials ? 0 : 1;
-}
+
+    std::string
+    paperClaim() const override
+    {
+        return "100% success rate with the Hacky-Racers timer as the "
+               "only clock";
+    }
+
+    /* Small LLC keeps the experiment brisk. */
+    std::string defaultProfile() const override { return "small_llc"; }
+
+    int defaultTrials() const override { return 5; }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        const MachineConfig mc = ctx.machineConfig();
+
+        struct TrialOutcome
+        {
+            Addr target = 0;
+            bool success = false, congruent = false;
+            long long timer_queries = 0;
+            double sim_ms = 0;
+        };
+        const std::vector<TrialOutcome> outcomes =
+            ctx.mapTrials([&](int trial, Rng &) {
+                Machine machine(mc);
+                EvSetConfig config;
+                config.seed = ctx.indexSeed(trial);
+                EvictionSetGenerator generator(machine, config);
+                TrialOutcome outcome;
+                outcome.target =
+                    0x7654'0000 + static_cast<Addr>(trial) * 0x1040;
+                EvSetResult result = generator.build(outcome.target);
+                outcome.success = result.success;
+                outcome.congruent = result.groundTruthCongruent;
+                outcome.timer_queries =
+                    static_cast<long long>(result.timerQueries);
+                outcome.sim_ms =
+                    static_cast<double>(result.cycles) / 2e6;
+                return outcome;
+            });
+
+        Table table({"trial", "target", "success", "congruent",
+                     "timer queries", "sim time (ms)"});
+        int successes = 0;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const TrialOutcome &outcome = outcomes[i];
+            successes += outcome.success && outcome.congruent;
+            char target_str[32];
+            std::snprintf(target_str, sizeof(target_str), "0x%llx",
+                          static_cast<unsigned long long>(outcome.target));
+            table.addRow({Table::integer(static_cast<long long>(i)),
+                          target_str, outcome.success ? "yes" : "NO",
+                          outcome.congruent ? "yes" : "NO",
+                          Table::integer(outcome.timer_queries),
+                          Table::num(outcome.sim_ms, 1)});
+        }
+
+        ResultTable result;
+        result.addTable("", std::move(table));
+        result.addMetric("success rate",
+                         static_cast<double>(successes) /
+                             static_cast<double>(outcomes.size()),
+                         "100%");
+        result.addCheck("every trial built a congruent eviction set",
+                        successes ==
+                            static_cast<int>(outcomes.size()));
+        return result;
+    }
+};
+
+HR_REGISTER_SCENARIO(TabEvset);
+
+} // namespace
+} // namespace hr

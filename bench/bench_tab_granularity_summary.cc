@@ -1,21 +1,24 @@
-/** Section 7.2 summary: minimal racing-gadget granularity. */
+/** Section 7.2 scenario: minimal racing-gadget granularity. */
 
-#include "bench_common.hh"
+#include <algorithm>
+
+#include "exp/registry.hh"
 #include "gadgets/racing.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
+namespace hr
+{
 namespace
 {
 
 int
-thresholdRefOps(Opcode target_op, int target_ops, Opcode ref_op)
+thresholdRefOps(const MachineConfig &mc, Opcode target_op, int target_ops,
+                Opcode ref_op)
 {
     int lo = 1, hi = 60, found = -1;
     while (lo <= hi) {
         const int mid = (lo + hi) / 2;
-        Machine machine(MachineConfig::effectiveWindowProfile());
+        Machine machine(mc);
         TransientPaRaceConfig config;
         config.refOp = ref_op;
         config.refOps = mid;
@@ -34,11 +37,10 @@ thresholdRefOps(Opcode target_op, int target_ops, Opcode ref_op)
 
 /** Longest run of target sizes mapping to the same threshold. */
 int
-granularity(Opcode target_op, Opcode ref_op, int max_n)
+longestRun(const std::vector<int> &thresholds)
 {
     int longest = 0, run = 0, last = -2;
-    for (int n = 1; n <= max_n; ++n) {
-        const int threshold = thresholdRefOps(target_op, n, ref_op);
+    for (int threshold : thresholds) {
         if (threshold == last) {
             ++run;
         } else {
@@ -50,42 +52,100 @@ granularity(Opcode target_op, Opcode ref_op, int max_n)
     return longest;
 }
 
-} // namespace
-
-int
-main()
+class TabGranularitySummary : public Scenario
 {
-    banner("Section 7.2: racing-gadget granularity summary",
-           "ADD reference: 1-3 ops for 1-cycle targets, 1-2 for MUL "
-           "targets => minimal granularity 1-6 cycles (0.5-3 ns)");
-
-    Table table({"target op", "ref op", "granularity (target ops)",
-                 "cycles/target-op"});
-    struct Case
+  public:
+    std::string
+    name() const override
     {
-        Opcode target;
-        Opcode ref;
-        int lat;
-        int max_n;
-    };
-    const Case cases[] = {
-        {Opcode::Add, Opcode::Add, 1, 36},
-        {Opcode::Lea, Opcode::Add, 1, 36},
-        {Opcode::Mul, Opcode::Add, 3, 16},
-        {Opcode::Add, Opcode::Mul, 1, 40},
-        {Opcode::Div, Opcode::Mul, 12, 4},
-    };
-    int worst_cycles = 0;
-    for (const Case &c : cases) {
-        const int g = granularity(c.target, c.ref, c.max_n);
-        table.addRow({opcodeName(c.target), opcodeName(c.ref),
-                      Table::integer(g), Table::integer(g * c.lat)});
-        if (c.ref == Opcode::Add)
-            worst_cycles = std::max(worst_cycles, g * c.lat);
+        return "tab_granularity_summary";
     }
-    table.print();
-    std::printf("\nminimal granularity with ADD reference paths: "
-                "%d cycles = %.1f ns at 2 GHz (paper: 1-6 cycles)\n",
-                worst_cycles, worst_cycles / 2.0);
-    return worst_cycles <= 6 ? 0 : 1;
-}
+
+    std::string
+    title() const override
+    {
+        return "Section 7.2: racing-gadget granularity summary";
+    }
+
+    std::string
+    paperClaim() const override
+    {
+        return "ADD reference: 1-3 ops for 1-cycle targets, 1-2 for MUL "
+               "targets => minimal granularity 1-6 cycles (0.5-3 ns)";
+    }
+
+    std::string defaultProfile() const override
+    {
+        return "effective_window";
+    }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        const MachineConfig mc = ctx.machineConfig();
+
+        struct Case
+        {
+            Opcode target;
+            Opcode ref;
+            int lat;
+            int max_n;
+        };
+        std::vector<Case> cases = {
+            {Opcode::Add, Opcode::Add, 1, 36},
+            {Opcode::Lea, Opcode::Add, 1, 36},
+            {Opcode::Mul, Opcode::Add, 3, 16},
+            {Opcode::Add, Opcode::Mul, 1, 40},
+            {Opcode::Div, Opcode::Mul, 12, 4},
+        };
+        if (ctx.quick())
+            for (Case &c : cases)
+                c.max_n = std::min(c.max_n, 4);
+
+        // Flatten every (case, target size) pair into one parallel
+        // sweep, then group thresholds back per case.
+        std::vector<std::pair<int, int>> units; // (case index, n)
+        for (std::size_t c = 0; c < cases.size(); ++c)
+            for (int n = 1; n <= cases[c].max_n; ++n)
+                units.emplace_back(static_cast<int>(c), n);
+        const std::vector<int> thresholds = ctx.parallelMap(
+            static_cast<int>(units.size()), [&](int i, Rng &) {
+                const auto &[c, n] = units[static_cast<std::size_t>(i)];
+                const Case &cs = cases[static_cast<std::size_t>(c)];
+                return thresholdRefOps(mc, cs.target, n, cs.ref);
+            });
+
+        Table table({"target op", "ref op", "granularity (target ops)",
+                     "cycles/target-op"});
+        int worst_cycles = 0;
+        for (std::size_t c = 0; c < cases.size(); ++c) {
+            std::vector<int> per_case;
+            for (std::size_t u = 0; u < units.size(); ++u)
+                if (units[u].first == static_cast<int>(c))
+                    per_case.push_back(thresholds[u]);
+            const int g = longestRun(per_case);
+            table.addRow({opcodeName(cases[c].target),
+                          opcodeName(cases[c].ref), Table::integer(g),
+                          Table::integer(g * cases[c].lat)});
+            if (cases[c].ref == Opcode::Add)
+                worst_cycles = std::max(worst_cycles, g * cases[c].lat);
+        }
+
+        ResultTable result;
+        result.addTable("", std::move(table));
+        result.addMetric("minimal granularity with ADD reference (cycles)",
+                         worst_cycles, "1-6 cycles");
+        result.addMetric("minimal granularity (ns at 2 GHz)",
+                         worst_cycles / 2.0);
+        if (!ctx.quick())
+            result.addCheck(
+                "granularity within the paper's 1-6 cycle band",
+                worst_cycles >= 1 && worst_cycles <= 6);
+        return result;
+    }
+};
+
+HR_REGISTER_SCENARIO(TabGranularitySummary);
+
+} // namespace
+} // namespace hr

@@ -1,61 +1,109 @@
-/** Section 6.3.3 reproduction: SEQ/PAR sizing vs miss probability. */
+/** Section 6.3.3 scenario: SEQ/PAR sizing vs miss probability. */
 
-#include "bench_common.hh"
 #include "cache/cache.hh"
+#include "exp/registry.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
+namespace hr
+{
 namespace
 {
 
-/** Empirical P(>= 1 SEQ miss) for one contention round. */
-double
-missProbability(int seq_len, int par_len, int trials)
+/** Did one contention round with this RNG seed lose >= 1 SEQ line? */
+bool
+roundMisses(int seq_len, int par_len, std::uint64_t seed)
 {
-    int hits = 0;
-    for (int t = 0; t < trials; ++t) {
-        CacheConfig config{"l1set", 1, 8, 64, PolicyKind::Random,
-                           static_cast<std::uint64_t>(t) + 1};
-        Cache cache(config);
-        // Fill SEQ lines, then PAR lines evict randomly.
-        for (int k = 0; k < seq_len; ++k)
-            cache.fill(static_cast<Addr>(k) * 64);
-        for (int j = 0; j < par_len; ++j)
-            cache.fill(static_cast<Addr>(100 + j) * 64);
-        // Any SEQ member gone?
-        bool missed = false;
-        for (int k = 0; k < seq_len; ++k)
-            missed |= !cache.contains(static_cast<Addr>(k) * 64);
-        hits += missed ? 1 : 0;
-    }
-    return static_cast<double>(hits) / trials;
+    CacheConfig config{"l1set", 1, 8, 64, PolicyKind::Random, seed};
+    Cache cache(config);
+    // Fill SEQ lines, then PAR lines evict randomly.
+    for (int k = 0; k < seq_len; ++k)
+        cache.fill(static_cast<Addr>(k) * 64);
+    for (int j = 0; j < par_len; ++j)
+        cache.fill(static_cast<Addr>(100 + j) * 64);
+    // Any SEQ member gone?
+    for (int k = 0; k < seq_len; ++k)
+        if (!cache.contains(static_cast<Addr>(k) * 64))
+            return true;
+    return false;
 }
 
-} // namespace
-
-int
-main()
+class TabMissProbability : public Scenario
 {
-    banner("Section 6.3.3: miss probability vs SEQ/PAR sizing "
-           "(8-way random replacement)",
-           "SEQ=6, PAR=5 gives >= 1 SEQ miss with ~96% probability; "
-           "larger values approach certainty");
+  public:
+    std::string name() const override { return "tab_miss_probability"; }
 
-    constexpr int kTrials = 20000;
-    Table table({"SEQ", "PAR", "P(>=1 miss)"});
-    double headline = 0.0;
-    for (int seq = 4; seq <= 7; ++seq) {
-        for (int par = 3; par <= 7; ++par) {
-            const double p = missProbability(seq, par, kTrials);
-            if (seq == 6 && par == 5)
+    std::string
+    title() const override
+    {
+        return "Section 6.3.3: miss probability vs SEQ/PAR sizing "
+               "(8-way random replacement)";
+    }
+
+    std::string
+    paperClaim() const override
+    {
+        return "SEQ=6, PAR=5 gives >= 1 SEQ miss with ~96% probability; "
+               "larger values approach certainty";
+    }
+
+    int defaultTrials() const override { return 20000; }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        // The (SEQ, PAR) grid of section 6.3.3.
+        std::vector<std::pair<int, int>> grid;
+        for (int seq = 4; seq <= 7; ++seq)
+            for (int par = 3; par <= 7; ++par)
+                grid.emplace_back(seq, par);
+
+        // Monte Carlo fan-out: each trial evaluates every grid cell
+        // with its own deterministic seed, so counts are independent
+        // of the worker count and parallelism scales with --trials.
+        const std::vector<std::uint32_t> miss_masks =
+            ctx.mapTrials([&](int trial, Rng &rng) {
+                std::uint32_t mask = 0;
+                for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+                    const std::uint64_t seed =
+                        rng.next() ^ (cell * 0x9e3779b97f4a7c15ull);
+                    if (roundMisses(grid[cell].first, grid[cell].second,
+                                    seed))
+                        mask |= 1u << cell;
+                }
+                (void)trial;
+                return mask;
+            });
+
+        std::vector<long long> misses(grid.size(), 0);
+        for (std::uint32_t mask : miss_masks)
+            for (std::size_t cell = 0; cell < grid.size(); ++cell)
+                misses[cell] += (mask >> cell) & 1;
+
+        Table table({"SEQ", "PAR", "P(>=1 miss)"});
+        double headline = 0.0;
+        for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+            const double p = static_cast<double>(misses[cell]) /
+                             static_cast<double>(miss_masks.size());
+            if (grid[cell].first == 6 && grid[cell].second == 5)
                 headline = p;
-            table.addRow({Table::integer(seq), Table::integer(par),
+            table.addRow({Table::integer(grid[cell].first),
+                          Table::integer(grid[cell].second),
                           Table::num(p, 3)});
         }
+
+        ResultTable result;
+        result.addTable("", std::move(table));
+        result.addMetric("P(>=1 miss) at SEQ=6, PAR=5", headline,
+                         "~0.96");
+        if (ctx.trials() >= 1000)
+            result.addCheck("headline probability in (0.90, 1.0)",
+                            headline > 0.90 && headline < 1.0);
+        return result;
     }
-    table.print();
-    std::printf("\nSEQ=6, PAR=5: P = %.3f (paper: ~0.96)\n", headline);
-    return headline > 0.90 && headline < 1.0 ? 0 : 1;
-}
+};
+
+HR_REGISTER_SCENARIO(TabMissProbability);
+
+} // namespace
+} // namespace hr

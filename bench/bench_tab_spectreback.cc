@@ -1,47 +1,85 @@
-/** Section 7.3 reproduction: SpectreBack leakage rate and accuracy. */
+/** Section 7.3 scenario: SpectreBack leakage rate and accuracy. */
 
-#include "bench_common.hh"
+#include <cstdio>
+
 #include "attacks/spectreback.hh"
+#include "exp/registry.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
-using namespace hr;
-
-int
-main()
+namespace hr
 {
-    banner("Section 7.3: SpectreBack in JavaScript",
-           "4.3 kbit/s leakage at > 88% accuracy through a 5 us clock "
-           "(backwards-in-time: the secret is transmitted to cache "
-           "state before the squash)");
+namespace
+{
 
-    Machine machine(MachineConfig::plruProfile());
-    SpectreBackConfig config;
-    SpectreBack attack(machine, config);
-    attack.calibrate();
+class TabSpectreback : public Scenario
+{
+  public:
+    std::string name() const override { return "tab_spectreback"; }
 
-    // A 24-byte secret with a mixed bit pattern.
-    Rng rng(0xbeef);
-    std::vector<std::uint8_t> secret;
-    for (int i = 0; i < 24; ++i)
-        secret.push_back(static_cast<std::uint8_t>(rng.next()));
-
-    SpectreBackResult result = attack.leakSecret(secret);
-
-    Table table({"metric", "paper", "this repo"});
-    table.addRow({"accuracy", "> 88%",
-                  Table::num(100.0 * result.accuracy, 1) + "%"});
-    table.addRow({"leak rate", "4.3 kbit/s",
-                  Table::num(result.kilobitsPerSecond, 2) + " kbit/s"});
-    table.addRow({"bits leaked", "-",
-                  Table::integer(static_cast<long long>(result.trials))});
-    table.print();
-
-    std::printf("\nleaked bytes: ");
-    for (std::size_t i = 0; i < secret.size(); ++i) {
-        std::printf("%02x%s", result.leaked[i],
-                    result.leaked[i] == secret[i] ? "" : "!");
+    std::string
+    title() const override
+    {
+        return "Section 7.3: SpectreBack in JavaScript";
     }
-    std::printf("  ('!' marks byte errors)\n");
-    return result.accuracy >= 0.88 ? 0 : 1;
-}
+
+    std::string
+    paperClaim() const override
+    {
+        return "4.3 kbit/s leakage at > 88% accuracy through a 5 us "
+               "clock (backwards-in-time: the secret is transmitted to "
+               "cache state before the squash)";
+    }
+
+    std::string defaultProfile() const override { return "plru"; }
+
+    ResultTable
+    run(ScenarioContext &ctx) override
+    {
+        Machine machine(ctx.machineConfig());
+        SpectreBackConfig config;
+        SpectreBack attack(machine, config);
+        attack.calibrate();
+
+        // A secret with a mixed bit pattern, derived from the base seed.
+        const int secret_bytes = ctx.quick() ? 4 : 24;
+        Rng rng(ctx.baseSeed() ^ 0xbeef);
+        std::vector<std::uint8_t> secret;
+        for (int i = 0; i < secret_bytes; ++i)
+            secret.push_back(static_cast<std::uint8_t>(rng.next()));
+
+        SpectreBackResult result = attack.leakSecret(secret);
+
+        Table table({"metric", "paper", "this repo"});
+        table.addRow({"accuracy", "> 88%",
+                      Table::num(100.0 * result.accuracy, 1) + "%"});
+        table.addRow({"leak rate", "4.3 kbit/s",
+                      Table::num(result.kilobitsPerSecond, 2) +
+                          " kbit/s"});
+        table.addRow({"bits leaked", "-",
+                      Table::integer(
+                          static_cast<long long>(result.trials))});
+
+        std::string leaked;
+        for (std::size_t i = 0; i < secret.size(); ++i) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "%02x%s", result.leaked[i],
+                          result.leaked[i] == secret[i] ? "" : "!");
+            leaked += buf;
+        }
+
+        ResultTable out;
+        out.addTable("", std::move(table));
+        out.addNote("leaked bytes ('!' marks byte errors): " + leaked);
+        out.addMetric("accuracy", result.accuracy, "> 0.88");
+        out.addMetric("leak rate (kbit/s)", result.kilobitsPerSecond,
+                      "4.3");
+        out.addCheck("accuracy >= 88%", result.accuracy >= 0.88);
+        return out;
+    }
+};
+
+HR_REGISTER_SCENARIO(TabSpectreback);
+
+} // namespace
+} // namespace hr

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * hr_bench: the unified experiment driver.
+ *
+ *   hr_bench list [--format=table|json|csv]
+ *   hr_bench profiles
+ *   hr_bench run <scenario>... [--trials=N] [--jobs=N] [--seed=S]
+ *                              [--format=table|json|csv]
+ *                              [--profile=NAME] [--param key=value]
+ *   hr_bench run --all
+ *
+ * Scenario names resolve by exact match or unique prefix (`run fig04`).
+ * Exit status is 0 iff every executed scenario's checks passed, so the
+ * driver composes with CI exactly like the former standalone benches.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hh"
+#include "exp/runner.hh"
+#include "sim/profiles.hh"
+#include "util/log.hh"
+
+namespace
+{
+
+using namespace hr;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: hr_bench <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                 list registered scenarios\n"
+        "  profiles             list named machine profiles\n"
+        "  run <scenario>...    run scenarios (exact name or unique "
+        "prefix)\n"
+        "  run --all            run every registered scenario\n"
+        "\n"
+        "run options:\n"
+        "  --trials=N           override the scenario's sample count\n"
+        "  --jobs=N             worker threads for trial fan-out "
+        "(default 1)\n"
+        "  --seed=S             RNG base seed (default 1)\n"
+        "  --format=F           table (default), json, or csv\n"
+        "  --profile=NAME       override the scenario's machine profile\n"
+        "  --param key=value    scenario-specific parameter "
+        "(repeatable)\n");
+}
+
+/** Parsed command line. */
+struct Cli
+{
+    std::vector<std::string> positional;
+    RunOptions options;
+    bool run_all = false;
+
+    static Cli
+    parse(int argc, char **argv)
+    {
+        Cli cli;
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            // Accept --flag=value and --flag value; anything else that
+            // merely shares a prefix with a known flag is rejected.
+            auto matches = [&](const std::string &flag) {
+                return arg == "--" + flag ||
+                       arg.rfind("--" + flag + "=", 0) == 0;
+            };
+            auto value = [&](const std::string &flag) {
+                const std::string prefix = "--" + flag + "=";
+                if (arg.rfind(prefix, 0) == 0)
+                    return arg.substr(prefix.size());
+                fatalIf(++i >= argc, "--" + flag + " needs a value");
+                return std::string(argv[i]);
+            };
+            auto integer = [&](const std::string &flag) {
+                const std::string text = value(flag);
+                try {
+                    return std::stoll(text);
+                } catch (const std::exception &) {
+                    fatal("--" + flag + ": '" + text +
+                          "' is not an integer");
+                }
+            };
+            if (arg == "--all") {
+                cli.run_all = true;
+            } else if (matches("trials")) {
+                cli.options.trials = static_cast<int>(integer("trials"));
+            } else if (matches("jobs")) {
+                cli.options.jobs = static_cast<int>(integer("jobs"));
+            } else if (matches("seed")) {
+                cli.options.seed =
+                    static_cast<std::uint64_t>(integer("seed"));
+            } else if (matches("format")) {
+                cli.options.format = formatFromName(value("format"));
+            } else if (matches("profile")) {
+                cli.options.profile = value("profile");
+            } else if (matches("param")) {
+                cli.options.params.setFromArg(value("param"));
+            } else if (arg.rfind("--", 0) == 0) {
+                fatal("unknown option '" + arg + "'");
+            } else {
+                cli.positional.push_back(arg);
+            }
+        }
+        return cli;
+    }
+};
+
+int
+cmdList(const Cli &cli)
+{
+    const auto scenarios = ScenarioRegistry::instance().all();
+    if (cli.options.format == Format::Table) {
+        Table table({"scenario", "profile", "trials", "title"});
+        for (Scenario *scenario : scenarios)
+            table.addRow({scenario->name(), scenario->defaultProfile(),
+                          Table::integer(scenario->defaultTrials()),
+                          scenario->title()});
+        table.print();
+        std::printf("\n%zu scenarios registered\n", scenarios.size());
+        return 0;
+    }
+    Table table({"scenario", "profile", "trials", "title", "paper_claim"});
+    for (Scenario *scenario : scenarios)
+        table.addRow({scenario->name(), scenario->defaultProfile(),
+                      Table::integer(scenario->defaultTrials()),
+                      scenario->title(), scenario->paperClaim()});
+    std::fputs((cli.options.format == Format::Json ? table.renderJson()
+                                                   : table.renderCsv())
+                   .c_str(),
+               stdout);
+    return 0;
+}
+
+int
+cmdProfiles(const Cli &cli)
+{
+    Table table({"profile", "description"});
+    for (const MachineProfile &profile : machineProfiles())
+        table.addRow({profile.name, profile.description});
+    if (cli.options.format == Format::Table)
+        table.print();
+    else
+        std::fputs((cli.options.format == Format::Json
+                        ? table.renderJson()
+                        : table.renderCsv())
+                       .c_str(),
+                   stdout);
+    return 0;
+}
+
+int
+cmdRun(Cli cli)
+{
+    std::vector<Scenario *> selected;
+    if (cli.run_all) {
+        selected = ScenarioRegistry::instance().all();
+    } else {
+        fatalIf(cli.positional.empty(),
+                "run: name at least one scenario (or --all)");
+        for (const std::string &name : cli.positional)
+            selected.push_back(
+                &ScenarioRegistry::instance().resolve(name));
+    }
+
+    const bool table_mode = cli.options.format == Format::Table;
+    if (table_mode)
+        cli.options.progress = [](const std::string &text) {
+            std::fprintf(stderr, "  .. %s\n", text.c_str());
+        };
+
+    ExperimentRunner runner(cli.options);
+    bool all_passed = true;
+    bool first = true;
+    for (Scenario *scenario : selected) {
+        if (!first && table_mode)
+            std::printf("\n");
+        first = false;
+        ResultTable result = runner.run(*scenario);
+        std::fputs(result.render(cli.options.format).c_str(), stdout);
+        if (table_mode)
+            std::fprintf(stderr, "[%s: %.2f s wall, %d jobs]\n",
+                         scenario->name().c_str(),
+                         runner.lastWallSeconds(), cli.options.jobs);
+        all_passed &= result.passed();
+    }
+    return all_passed ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    try {
+        const Cli cli = Cli::parse(argc, argv);
+        if (command == "list")
+            return cmdList(cli);
+        if (command == "profiles")
+            return cmdProfiles(cli);
+        if (command == "run")
+            return cmdRun(cli);
+        if (command == "help" || command == "--help" || command == "-h") {
+            usage();
+            return 0;
+        }
+        fatal("unknown command '" + command + "'");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "hr_bench: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Self-registering scenario registry.
+ *
+ * Each scenario translation unit registers itself at static-init time
+ * via HR_REGISTER_SCENARIO, so the hr_bench driver discovers every
+ * compiled-in experiment without a central list. Adding a workload is
+ * one new .cc file — no driver edits.
+ */
+
+#ifndef HR_EXP_REGISTRY_HH
+#define HR_EXP_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hh"
+
+namespace hr
+{
+
+/** Global name -> Scenario registry (sorted listing). */
+class ScenarioRegistry
+{
+  public:
+    static ScenarioRegistry &instance();
+
+    /** Register a scenario (fatal on duplicate names). */
+    void add(std::unique_ptr<Scenario> scenario);
+
+    /** Exact-name lookup; nullptr if absent. */
+    Scenario *find(const std::string &name) const;
+
+    /**
+     * Exact match, else unique prefix match (so `hr_bench run fig04`
+     * resolves fig04_plru_eviction). Fatal on no match or an ambiguous
+     * prefix, listing the candidates.
+     */
+    Scenario &resolve(const std::string &name) const;
+
+    /** All scenarios, sorted by name. */
+    std::vector<Scenario *> all() const;
+
+  private:
+    std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+/** Static-init helper used by HR_REGISTER_SCENARIO. */
+struct ScenarioRegistrar
+{
+    explicit ScenarioRegistrar(std::unique_ptr<Scenario> scenario);
+};
+
+#define HR_REGISTER_SCENARIO(Type)                                          \
+    static ::hr::ScenarioRegistrar hrScenarioRegistrar_##Type{              \
+        std::make_unique<Type>()}
+
+} // namespace hr
+
+#endif // HR_EXP_REGISTRY_HH

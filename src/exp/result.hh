@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ResultTable: the structured output of one experiment scenario run.
+ *
+ * Scenarios never print; they return a ResultTable holding tables,
+ * series, histograms, headline metrics, and pass/fail checks. The
+ * runner's reporter serializes the whole thing in the selected output
+ * format, so a scenario renders identically as an ASCII report, a JSON
+ * document, or CSV sections. Content is fully deterministic given the
+ * scenario inputs — the determinism tests compare rendered output
+ * byte-for-byte across thread counts.
+ */
+
+#ifndef HR_EXP_RESULT_HH
+#define HR_EXP_RESULT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace hr
+{
+
+/** Serialization format for experiment output. */
+enum class Format
+{
+    Table, ///< human-readable ASCII report
+    Json,  ///< one JSON document
+    Csv,   ///< CSV sections with `#`-prefixed headers
+};
+
+/** Parse "table" / "json" / "csv" (fatal on anything else). */
+Format formatFromName(const std::string &name);
+std::string formatName(Format format);
+
+/** A named acceptance check against the paper's claims. */
+struct ResultCheck
+{
+    std::string name;
+    bool passed = false;
+};
+
+/** A headline scalar, optionally annotated with the paper's value. */
+struct ResultMetric
+{
+    std::string name;
+    double value = 0.0;
+    std::string paper; ///< e.g. "~0.96", empty if no paper reference
+};
+
+/** Structured result of one scenario run. */
+class ResultTable
+{
+  public:
+    /** Identity block (set by the runner before the scenario runs). */
+    void setScenario(std::string name, std::string title,
+                     std::string paper_claim);
+
+    /** Reproducibility metadata (profile, trials, seed, ...). */
+    void addMeta(std::string key, std::string value);
+
+    void addTable(std::string title, Table table);
+    void addSeries(Series series);
+    void addHistogram(std::string title, Histogram histogram);
+    void addMetric(std::string name, double value, std::string paper = "");
+    void addCheck(std::string name, bool passed);
+
+    /** Free-form commentary (rendered as prose / JSON notes). */
+    void addNote(std::string text);
+
+    /** All checks passed (true when there are no checks). */
+    bool passed() const;
+
+    const std::string &scenarioName() const { return name_; }
+    const std::vector<ResultCheck> &checks() const { return checks_; }
+    const std::vector<ResultMetric> &metrics() const { return metrics_; }
+
+    /** Serialize everything in the requested format. */
+    std::string render(Format format) const;
+
+  private:
+    std::string name_, title_, paperClaim_;
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::vector<std::pair<std::string, Table>> tables_;
+    std::vector<Series> series_;
+    std::vector<std::pair<std::string, Histogram>> histograms_;
+    std::vector<ResultMetric> metrics_;
+    std::vector<ResultCheck> checks_;
+    std::vector<std::string> notes_;
+
+    std::string renderTable() const;
+    std::string renderJson() const;
+    std::string renderCsv() const;
+};
+
+} // namespace hr
+
+#endif // HR_EXP_RESULT_HH

@@ -1,0 +1,152 @@
+#include "exp/scenario.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/profiles.hh"
+#include "util/log.hh"
+
+namespace hr
+{
+
+void
+ParamSet::set(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+void
+ParamSet::setFromArg(const std::string &arg)
+{
+    const auto eq = arg.find('=');
+    fatalIf(eq == std::string::npos || eq == 0,
+            "parameter must be key=value, got '" + arg + "'");
+    set(arg.substr(0, eq), arg.substr(eq + 1));
+}
+
+bool
+ParamSet::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+std::string
+ParamSet::get(const std::string &key, const std::string &def) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? def : it->second;
+}
+
+long long
+ParamSet::getInt(const std::string &key, long long def) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "parameter " + key + ": '" + it->second + "' is not an integer");
+    return v;
+}
+
+double
+ParamSet::getDouble(const std::string &key, double def) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "parameter " + key + ": '" + it->second + "' is not a number");
+    return v;
+}
+
+bool
+ParamSet::getBool(const std::string &key, bool def) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("parameter " + key + ": '" + v + "' is not a boolean");
+}
+
+ScenarioContext::ScenarioContext(
+    int trials, int jobs, std::uint64_t base_seed, std::string profile_name,
+    ParamSet params, std::function<void(const std::string &)> progress)
+    : trials_(trials), jobs_(jobs), baseSeed_(base_seed),
+      profileName_(std::move(profile_name)), params_(std::move(params)),
+      progress_(std::move(progress))
+{
+    fatalIf(trials_ < 1, "trial count must be >= 1");
+    fatalIf(jobs_ < 1, "job count must be >= 1");
+}
+
+MachineConfig
+ScenarioContext::machineConfig() const
+{
+    return machineConfigForProfile(profileName_);
+}
+
+void
+ScenarioContext::note(const std::string &text) const
+{
+    if (progress_)
+        progress_(text);
+}
+
+void
+ScenarioContext::forEachIndex(int count, const IndexBody &body) const
+{
+    if (count <= 0)
+        return;
+    const int workers = std::min(jobs_, count);
+    if (workers <= 1) {
+        for (int i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto work = [&]() {
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers - 1));
+    for (int t = 1; t < workers; ++t)
+        threads.emplace_back(work);
+    work();
+    for (auto &thread : threads)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace hr

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Named machine-profile registry.
+ *
+ * Every MachineConfig preset is reachable by a stable string name, so
+ * experiment scenarios and the hr_bench CLI (`--profile=`) can select
+ * machine models without compile-time coupling to MachineConfig's
+ * factory methods. See EXPERIMENTS.md for which paper experiment uses
+ * which profile.
+ */
+
+#ifndef HR_SIM_PROFILES_HH
+#define HR_SIM_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace hr
+{
+
+/** One registered machine profile. */
+struct MachineProfile
+{
+    std::string name;        ///< CLI-stable identifier, e.g. "plru"
+    std::string description; ///< one-line human summary
+    MachineConfig (*make)(); ///< factory producing a fresh config
+};
+
+/** All registered profiles, in registration order. */
+const std::vector<MachineProfile> &machineProfiles();
+
+/** True if `name` names a registered profile. */
+bool hasMachineProfile(const std::string &name);
+
+/**
+ * Build the config for a named profile. fatal()s (throws) on unknown
+ * names, listing the valid ones.
+ */
+MachineConfig machineConfigForProfile(const std::string &name);
+
+} // namespace hr
+
+#endif // HR_SIM_PROFILES_HH

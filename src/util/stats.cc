@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/log.hh"
+#include "util/table.hh"
 
 namespace hr
 {
@@ -137,6 +138,30 @@ Histogram::render(std::size_t width) const
                       std::string(bar, '#').c_str(), counts_[i]);
         out += line;
     }
+    return out;
+}
+
+std::string
+Histogram::renderJson() const
+{
+    std::string out = "{\"lo\": " + jsonNum(lo_) +
+                      ", \"hi\": " + jsonNum(hi_) + ", \"bins\": [";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "[" + jsonNum(binCenter(i)) + ", " +
+               std::to_string(counts_[i]) + "]";
+    }
+    return out + "]}";
+}
+
+std::string
+Histogram::renderCsv() const
+{
+    std::string out = "bin_center,count\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        out += jsonNum(binCenter(i)) + "," + std::to_string(counts_[i]) +
+               "\n";
     return out;
 }
 

@@ -82,6 +82,12 @@ class Histogram
     /** Multi-line ASCII rendering (for bench output). */
     std::string render(std::size_t width = 50) const;
 
+    /** JSON object: binning parameters plus [center, count] pairs. */
+    std::string renderJson() const;
+
+    /** CSV: "bin_center,count" header then one row per bin. */
+    std::string renderCsv() const;
+
   private:
     double lo_, hi_;
     std::vector<std::size_t> counts_;

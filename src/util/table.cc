@@ -8,6 +8,52 @@
 namespace hr
 {
 
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out + "\"";
+}
+
+std::string
+csvQuote(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
 {
 }
@@ -66,6 +112,42 @@ Table::render() const
     return out;
 }
 
+std::string
+Table::renderJson() const
+{
+    std::string out = "[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        out += r == 0 ? "\n" : ",\n";
+        out += "  {";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            if (c > 0)
+                out += ", ";
+            out += jsonQuote(headers_[c]) + ": " + jsonQuote(rows_[r][c]);
+        }
+        out += "}";
+    }
+    out += rows_.empty() ? "]" : "\n]";
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto line = [](const std::vector<std::string> &cells) {
+        std::string out;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                out += ',';
+            out += csvQuote(cells[c]);
+        }
+        return out + "\n";
+    };
+    std::string out = line(headers_);
+    for (const auto &row : rows_)
+        out += line(row);
+    return out;
+}
+
 void
 Table::print() const
 {
@@ -95,6 +177,31 @@ Series::render() const
         std::snprintf(line, sizeof(line), "%14.4f %14.4f\n", xs_[i], ys_[i]);
         out += line;
     }
+    return out;
+}
+
+std::string
+Series::renderJson() const
+{
+    std::string out = "{";
+    out += "\"name\": " + jsonQuote(name_);
+    out += ", \"x_label\": " + jsonQuote(xLabel_);
+    out += ", \"y_label\": " + jsonQuote(yLabel_);
+    out += ", \"points\": [";
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "[" + jsonNum(xs_[i]) + ", " + jsonNum(ys_[i]) + "]";
+    }
+    return out + "]}";
+}
+
+std::string
+Series::renderCsv() const
+{
+    std::string out = csvQuote(xLabel_) + "," + csvQuote(yLabel_) + "\n";
+    for (std::size_t i = 0; i < xs_.size(); ++i)
+        out += jsonNum(xs_[i]) + "," + jsonNum(ys_[i]) + "\n";
     return out;
 }
 

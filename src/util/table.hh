@@ -13,6 +13,15 @@
 namespace hr
 {
 
+/** Quote a string as a JSON string literal (with surrounding quotes). */
+std::string jsonQuote(const std::string &s);
+
+/** Quote a CSV field if it contains separators/quotes/newlines. */
+std::string csvQuote(const std::string &s);
+
+/** Format a double compactly for machine-readable output. */
+std::string jsonNum(double v);
+
 /**
  * Column-aligned ASCII table. Collects rows of strings and renders with a
  * header rule, suitable for terminal output and for diffing in tests.
@@ -31,6 +40,12 @@ class Table
 
     /** Render the whole table. */
     std::string render() const;
+
+    /** Render as a JSON array of row objects keyed by header. */
+    std::string renderJson() const;
+
+    /** Render as CSV (header row first, RFC-4180 quoting). */
+    std::string renderCsv() const;
 
     /** Render and print to stdout. */
     void print() const;
@@ -56,6 +71,13 @@ class Series
     const std::vector<double> &ys() const { return ys_; }
 
     std::string render() const;
+
+    /** Render as a JSON object with labels and a points array. */
+    std::string renderJson() const;
+
+    /** Render as CSV: a label header row, then x,y rows. */
+    std::string renderCsv() const;
+
     void print() const;
 
   private:

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Replacement-policy clone() fidelity tests.
+ *
+ * The pin-pattern search explores replacement-state spaces by cloning
+ * policies mid-sequence, so a clone must be a perfect fork: from the
+ * moment of cloning, the clone and the original must produce identical
+ * victim choices and identical stateString() renderings for any
+ * subsequent access sequence (including Random, whose RNG stream state
+ * must be copied, not re-seeded).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+#include "util/rng.hh"
+
+namespace hr
+{
+namespace
+{
+
+constexpr PolicyKind kAllKinds[] = {PolicyKind::TreePlru, PolicyKind::Lru,
+                                    PolicyKind::Random, PolicyKind::Nru,
+                                    PolicyKind::Srrip};
+
+/** Drive a policy with `ops` pseudo-random touch/victim/invalidate. */
+void
+churn(ReplacementPolicy &policy, Rng &rng, int ops)
+{
+    for (int i = 0; i < ops; ++i) {
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            policy.touch(static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(policy.assoc()))));
+            break;
+          case 2:
+            policy.victim();
+            break;
+          default:
+            policy.invalidate(static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(policy.assoc()))));
+            break;
+        }
+    }
+}
+
+TEST(ReplacementClone, ForkIsBitFaithfulForEveryPolicy)
+{
+    for (PolicyKind kind : kAllKinds) {
+        for (int assoc : {4, 8, 16}) {
+            SCOPED_TRACE(policyKindName(kind) + "/assoc " +
+                         std::to_string(assoc));
+            auto original = makePolicy(kind, assoc, 0xfeed);
+
+            // Reach a non-trivial mid-sequence state before cloning.
+            Rng warmup(0x1111);
+            churn(*original, warmup, 200);
+
+            auto clone = original->clone();
+            ASSERT_NE(clone, nullptr);
+            EXPECT_EQ(clone->assoc(), original->assoc());
+            EXPECT_EQ(clone->stateString(), original->stateString());
+
+            // Identical post-clone op streams must yield identical
+            // victim and state sequences on both instances.
+            Rng ops_a(0x2222), ops_b(0x2222);
+            for (int step = 0; step < 300; ++step) {
+                const int way_a = static_cast<int>(ops_a.below(
+                    static_cast<std::uint64_t>(assoc)));
+                const int way_b = static_cast<int>(ops_b.below(
+                    static_cast<std::uint64_t>(assoc)));
+                ASSERT_EQ(way_a, way_b);
+                switch (step % 3) {
+                  case 0:
+                    original->touch(way_a);
+                    clone->touch(way_b);
+                    break;
+                  case 1:
+                    ASSERT_EQ(original->victim(), clone->victim())
+                        << "diverged at step " << step;
+                    break;
+                  default:
+                    original->invalidate(way_a);
+                    clone->invalidate(way_b);
+                    break;
+                }
+                ASSERT_EQ(original->stateString(), clone->stateString())
+                    << "diverged at step " << step;
+            }
+        }
+    }
+}
+
+/** A clone must be independent: mutating it leaves the original alone. */
+TEST(ReplacementClone, ForkIsIndependent)
+{
+    for (PolicyKind kind : kAllKinds) {
+        SCOPED_TRACE(policyKindName(kind));
+        auto original = makePolicy(kind, 8, 0xbeef);
+        Rng warmup(0x3333);
+        churn(*original, warmup, 100);
+
+        auto clone = original->clone();
+        const std::string before = original->stateString();
+
+        // Hammer only the clone.
+        Rng hammer(0x4444);
+        churn(*clone, hammer, 100);
+
+        EXPECT_EQ(original->stateString(), before);
+    }
+}
+
+/** Random's clone must copy RNG state, not restart the stream. */
+TEST(ReplacementClone, RandomCloneContinuesTheRngStream)
+{
+    auto original = makePolicy(PolicyKind::Random, 8, 0xabcd);
+    for (int i = 0; i < 37; ++i)
+        original->victim(); // advance the stream mid-way
+
+    auto clone = original->clone();
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(original->victim(), clone->victim()) << "draw " << i;
+}
+
+} // namespace
+} // namespace hr
