@@ -2,8 +2,8 @@
 
 #include <cstdlib>
 
-#include "attacks/flush_reload.hh"
 #include "exp/registry.hh"
+#include "gadgets/gadget_registry.hh"
 #include "util/table.hh"
 
 namespace hr
@@ -34,48 +34,66 @@ class Fig07RepetitionStack : public Scenario
     run(ScenarioContext &ctx) override
     {
         Machine machine(ctx.machineConfig());
-        FlushReloadConfig config;
-        FlushReloadRepetition study(machine, config);
-
         ResultTable result;
-        const FlushReloadOutcome plain = study.runPlain();
-        const FlushReloadOutcome racing = study.runWithRacingGadget();
-        addStacks(result, "(a) plain repetition", plain);
-        addStacks(result, "(b) load stage hidden in a racing gadget",
-                  racing);
+
+        // The repetition harness through the gadget registry: secret
+        // false = victim touches the probe line, true = a different
+        // line; the stage breakdown rides in the sample's aux fields.
+        std::int64_t plain_signal = 0, racing_signal = 0;
+        Cycle plain_same_total = 0;
+        for (bool racing : {false, true}) {
+            ParamSet params;
+            params.set("racing", racing ? "1" : "0");
+            auto source =
+                GadgetRegistry::instance().make("repetition", params);
+            const TimingSample same = source->sample(machine, false);
+            const TimingSample diff = source->sample(machine, true);
+            const std::int64_t signal =
+                static_cast<std::int64_t>(diff.cycles) -
+                static_cast<std::int64_t>(same.cycles);
+            addStacks(result,
+                      racing ? "(b) load stage hidden in a racing gadget"
+                             : "(a) plain repetition",
+                      same, diff, signal);
+            (racing ? racing_signal : plain_signal) = signal;
+            if (!racing)
+                plain_same_total = same.cycles;
+        }
+
         // "No signal" = the residual is lost in the run time (< 1%),
         // not merely smaller than the racing variant's signal.
         result.addCheck("plain repetition has no total-time signal",
-                        std::llabs(plain.totalSignal()) <
+                        std::llabs(plain_signal) <
                             static_cast<std::int64_t>(
-                                plain.sameAddr.total() / 100));
+                                plain_same_total / 100));
         result.addCheck("racing envelope preserves a total-time signal",
-                        racing.totalSignal() > 0);
+                        racing_signal > 0);
         return result;
     }
 
   private:
     static void
     addStacks(ResultTable &result, const std::string &title,
-              const FlushReloadOutcome &outcome)
+              const TimingSample &same, const TimingSample &diff,
+              std::int64_t signal)
     {
         Table table(
             {"case", "evict%", "load%", "reload%", "total (cycles)"});
         // Fig. 7b normalizes both cases to the same-address total.
-        const double norm = static_cast<double>(outcome.sameAddr.total());
-        auto row = [&](const char *name, const StageBreakdown &stages) {
-            table.addRow({name,
-                          Table::num(100.0 * stages.cycles[0] / norm, 1),
-                          Table::num(100.0 * stages.cycles[1] / norm, 1),
-                          Table::num(100.0 * stages.cycles[2] / norm, 1),
-                          Table::integer(static_cast<long long>(
-                              stages.total()))});
+        const double norm = static_cast<double>(same.cycles);
+        auto row = [&](const char *name, const TimingSample &sample) {
+            table.addRow(
+                {name,
+                 Table::num(100.0 * sample.auxValue("evict") / norm, 1),
+                 Table::num(100.0 * sample.auxValue("load") / norm, 1),
+                 Table::num(100.0 * sample.auxValue("reload") / norm, 1),
+                 Table::integer(static_cast<long long>(sample.cycles))});
         };
-        row("same addr", outcome.sameAddr);
-        row("different addr", outcome.diffAddr);
+        row("same addr", same);
+        row("different addr", diff);
         result.addTable(title, std::move(table));
         result.addMetric(title + ": total-time signal (cycles)",
-                         static_cast<double>(outcome.totalSignal()));
+                         static_cast<double>(signal));
     }
 };
 

@@ -1,7 +1,8 @@
 /** Fig. 8 scenario: racing-gadget granularity, ADD reference path. */
 
 #include "exp/registry.hh"
-#include "gadgets/racing.hh"
+#include "gadgets/gadget_registry.hh"
+#include "isa/instruction.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -9,6 +10,26 @@ namespace hr
 {
 namespace
 {
+
+/**
+ * One racing-gadget observation through the registry: does a chain of
+ * @p target_ops ops outlast a reference path of @p ref_ops ops?
+ */
+bool
+exprOutlastsBaseline(const MachineConfig &mc, Opcode target_op,
+                     int target_ops, Opcode ref_op, int ref_ops)
+{
+    Machine machine(mc);
+    ParamSet params;
+    params.set("op", opcodeName(target_op));
+    params.set("slow_ops", std::to_string(target_ops));
+    params.set("ref_op", opcodeName(ref_op));
+    params.set("ref_ops", std::to_string(ref_ops));
+    auto race = GadgetRegistry::instance().make("pa_race", params);
+    // secret=true samples the slow_ops expression; the bit is the
+    // transient probe's presence, i.e. "expression lost the race".
+    return race->sample(machine, true).bit;
+}
 
 /**
  * Smallest reference-path length (in ref ops) that beats the target
@@ -22,14 +43,8 @@ thresholdRefOps(const MachineConfig &mc, Opcode target_op, int target_ops,
     int lo = 1, hi = max_ref, found = -1;
     while (lo <= hi) {
         const int mid = (lo + hi) / 2;
-        Machine machine(mc);
-        TransientPaRaceConfig config;
-        config.refOp = ref_op;
-        config.refOps = mid;
-        TransientPaRace race(machine, config,
-                             TargetExpr::opChain(target_op, target_ops));
-        race.train();
-        if (!race.attackAndProbe()) {
+        if (!exprOutlastsBaseline(mc, target_op, target_ops, ref_op,
+                                  mid)) {
             found = mid; // baseline long enough to lose the race
             hi = mid - 1;
         } else {
@@ -116,14 +131,10 @@ class Fig08GranularityAdd : public Scenario
             // once the baseline no longer fits the transient window.
             const std::vector<char> lost = ctx.parallelMap(
                 31, [&](int i, Rng &) -> char {
-                    Machine machine(mc);
-                    TransientPaRaceConfig config;
-                    config.refOps = 40 + i;
-                    TransientPaRace race(
-                        machine, config,
-                        TargetExpr::opChain(Opcode::Add, 500));
-                    race.train();
-                    return race.attackAndProbe() ? 0 : 1;
+                    return exprOutlastsBaseline(mc, Opcode::Add, 500,
+                                                Opcode::Add, 40 + i)
+                               ? 0
+                               : 1;
                 });
             int cap = -1;
             for (std::size_t i = 0; i < lost.size(); ++i) {

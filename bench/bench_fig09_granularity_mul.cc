@@ -1,7 +1,8 @@
 /** Fig. 9 scenario: racing-gadget granularity, MUL reference path. */
 
 #include "exp/registry.hh"
-#include "gadgets/racing.hh"
+#include "gadgets/gadget_registry.hh"
+#include "isa/instruction.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -18,13 +19,13 @@ thresholdMulRefOps(const MachineConfig &mc, Opcode target_op,
     while (lo <= hi) {
         const int mid = (lo + hi) / 2;
         Machine machine(mc);
-        TransientPaRaceConfig config;
-        config.refOp = Opcode::Mul;
-        config.refOps = mid;
-        TransientPaRace race(machine, config,
-                             TargetExpr::opChain(target_op, target_ops));
-        race.train();
-        if (!race.attackAndProbe()) {
+        ParamSet params;
+        params.set("op", opcodeName(target_op));
+        params.set("slow_ops", std::to_string(target_ops));
+        params.set("ref_op", "mul");
+        params.set("ref_ops", std::to_string(mid));
+        auto race = GadgetRegistry::instance().make("pa_race", params);
+        if (!race->sample(machine, true).bit) {
             found = mid;
             hi = mid - 1;
         } else {

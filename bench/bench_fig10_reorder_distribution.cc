@@ -3,8 +3,7 @@
 #include <algorithm>
 
 #include "exp/registry.hh"
-#include "gadgets/plru_magnifier.hh"
-#include "gadgets/racing.hh"
+#include "gadgets/gadget_registry.hh"
 #include "util/stats.hh"
 
 namespace hr
@@ -48,7 +47,10 @@ class Fig10ReorderDistribution : public Scenario
                 "repeats", ctx.quick() ? 400 : 4000));
 
         // Each trial runs on its own machine with a private jitter
-        // stream, so trials parallelize without sharing state.
+        // stream, so trials parallelize without sharing state. The
+        // attack stack is the registry's composed reorder pipeline:
+        // reorder_race (expression vs 60-add reference) feeding the
+        // reorder PLRU magnifier.
         struct TrialSample
         {
             double slow_ms = 0, fast_ms = 0;
@@ -58,28 +60,20 @@ class Fig10ReorderDistribution : public Scenario
                 MachineConfig mc = ctx.machineConfig();
                 mc.memory.rngSeed = rng.next();
                 Machine machine(mc);
-                auto config =
-                    PlruMagnifier::makeConfig(machine, 3, repeats);
-                PlruMagnifier magnifier(machine, config,
-                                        PlruVariant::Reorder);
-                ReorderRaceConfig race_config;
-                race_config.addrA = config.a;
-                race_config.addrB = config.b;
-                race_config.refOps = 60; // the reference threshold T'
+                ParamSet params;
+                params.set("repeats", std::to_string(repeats));
+                auto pipeline = GadgetRegistry::instance().make(
+                    "reorder_pipeline", params);
 
                 TrialSample sample;
-                for (bool transmit_one : {false, true}) {
-                    // transmit 1 = fast expression (A first), 0 = slow.
-                    const int expr_ops = transmit_one ? 150 : 5;
-                    magnifier.prime();
-                    ReorderRace race(
-                        machine, race_config,
-                        TargetExpr::opChain(Opcode::Add, expr_ops));
-                    race.run();
-                    machine.settle();
-                    const double ms =
-                        machine.toNs(magnifier.traverse().cycles) / 1e6;
-                    (transmit_one ? sample.fast_ms : sample.slow_ms) = ms;
+                // secret=true: A inserted first, traversal pinned
+                // (slow). secret=false: B first, traversal settles to
+                // hits (fast).
+                for (bool secret : {true, false}) {
+                    const TimingSample s =
+                        pipeline->sample(machine, secret);
+                    const double ms = machine.toNs(s.cycles) / 1e6;
+                    (secret ? sample.slow_ms : sample.fast_ms) = ms;
                 }
                 return sample;
             });

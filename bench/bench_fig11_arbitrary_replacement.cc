@@ -1,7 +1,7 @@
 /** Fig. 11 scenario: arbitrary-replacement magnifier growth. */
 
 #include "exp/registry.hh"
-#include "gadgets/arbitrary_magnifier.hh"
+#include "gadgets/gadget_registry.hh"
 #include "util/table.hh"
 
 namespace hr
@@ -104,11 +104,14 @@ class Fig11ArbitraryReplacement : public Scenario
         MachineConfig mc = ctx.machineConfig();
         mc.memory.l1.policy = policy;
         Machine machine(mc);
-        ArbitraryMagnifierConfig config;
-        config.repeats = repeats;
-        config.prefetch = prefetch;
-        ArbitraryMagnifier magnifier(machine, config);
-        return machine.toUs(magnifier.measureDelta());
+        ParamSet params;
+        params.set("repeats", std::to_string(repeats));
+        params.set("prefetch", prefetch ? "1" : "0");
+        auto magnifier = GadgetRegistry::instance().make(
+            "arbitrary_magnifier", params);
+        const Cycle fast = magnifier->sample(machine, false).cycles;
+        const Cycle slow = magnifier->sample(machine, true).cycles;
+        return machine.toUs(slow > fast ? slow - fast : 0);
     }
 };
 

@@ -1,7 +1,7 @@
 /** Fig. 12 scenario: arithmetic-operation-only magnifier. */
 
 #include "exp/registry.hh"
-#include "gadgets/arith_magnifier.hh"
+#include "gadgets/gadget_registry.hh"
 #include "util/table.hh"
 
 namespace hr
@@ -51,18 +51,23 @@ class Fig12ArithmeticOnly : public Scenario
         };
         const std::vector<Point> points = ctx.parallelMap(
             static_cast<int>(stage_counts.size()), [&](int i, Rng &) {
-                ArithMagnifierConfig config;
-                config.stages = stage_counts[static_cast<std::size_t>(i)];
+                ParamSet params;
+                params.set(
+                    "stages",
+                    std::to_string(
+                        stage_counts[static_cast<std::size_t>(i)]));
+                auto magnifier = GadgetRegistry::instance().make(
+                    "arith_magnifier", params);
                 // Each polarity runs on a fresh machine so both see the
                 // same absolute interrupt grid (deltas are otherwise
                 // dominated by which run happens to straddle a
                 // boundary).
                 Machine fast_machine(mc);
-                ArithMagnifier fast_magnifier(fast_machine, config);
-                const Cycle fast = fast_magnifier.run(true);
+                const Cycle fast =
+                    magnifier->sample(fast_machine, false).cycles;
                 Machine slow_machine(mc);
-                ArithMagnifier slow_magnifier(slow_machine, config);
-                const Cycle slow = slow_magnifier.run(false);
+                const Cycle slow =
+                    magnifier->sample(slow_machine, true).cycles;
                 const Cycle delta = slow > fast ? slow - fast : 0;
                 Point point;
                 point.delta_us = fast_machine.toUs(delta);

@@ -4,14 +4,19 @@
  *
  *   hr_bench list [--format=table|json|csv]
  *   hr_bench profiles
+ *   hr_bench gadgets [--format=table|json|csv]
  *   hr_bench run <scenario>... [--trials=N] [--jobs=N] [--seed=S]
  *                              [--format=table|json|csv]
  *                              [--profile=NAME] [--param key=value]
  *   hr_bench run --all
+ *   hr_bench sweep --gadget=NAME [--profile=NAME] [--grid key=v1,v2]...
+ *                  [--trials=N] [--jobs=N] [--seed=S] [--format=F]
+ *                  [--param key=value]
  *
- * Scenario names resolve by exact match or unique prefix (`run fig04`).
- * Exit status is 0 iff every executed scenario's checks passed, so the
- * driver composes with CI exactly like the former standalone benches.
+ * Scenario names resolve by exact match or unique prefix (`run fig04`),
+ * and gadget names likewise (`sweep --gadget=arith`). Exit status is 0
+ * iff every executed scenario's checks passed, so the driver composes
+ * with CI exactly like the former standalone benches.
  */
 
 #include <cstdio>
@@ -21,6 +26,8 @@
 
 #include "exp/registry.hh"
 #include "exp/runner.hh"
+#include "exp/sweep.hh"
+#include "gadgets/gadget_registry.hh"
 #include "sim/profiles.hh"
 #include "util/log.hh"
 
@@ -39,9 +46,11 @@ usage()
         "commands:\n"
         "  list                 list registered scenarios\n"
         "  profiles             list named machine profiles\n"
+        "  gadgets              list registered timing-source gadgets\n"
         "  run <scenario>...    run scenarios (exact name or unique "
         "prefix)\n"
         "  run --all            run every registered scenario\n"
+        "  sweep --gadget=NAME  sweep a gadget over a parameter grid\n"
         "\n"
         "run options:\n"
         "  --trials=N           override the scenario's sample count\n"
@@ -51,7 +60,16 @@ usage()
         "  --format=F           table (default), json, or csv\n"
         "  --profile=NAME       override the scenario's machine profile\n"
         "  --param key=value    scenario-specific parameter "
-        "(repeatable)\n");
+        "(repeatable)\n"
+        "\n"
+        "sweep options (plus the run options above):\n"
+        "  --gadget=NAME        gadget to sweep (see `gadgets`)\n"
+        "  --profile=NAME       machine profile (default `default`)\n"
+        "  --grid key=v1,v2     grid axis; also key=lo:hi[:step] "
+        "(repeatable, cartesian)\n"
+        "  --trials=N           samples per polarity per grid point "
+        "(default 4)\n"
+        "  --param key=value    fixed gadget parameter (repeatable)\n");
 }
 
 /** Parsed command line. */
@@ -60,6 +78,10 @@ struct Cli
     std::vector<std::string> positional;
     RunOptions options;
     bool run_all = false;
+    std::string gadget;
+    std::vector<std::string> grid_args;
+    bool trials_given = false;
+    std::vector<std::string> seen; ///< flag names given, for rejectStray
 
     static Cli
     parse(int argc, char **argv)
@@ -91,19 +113,33 @@ struct Cli
             };
             if (arg == "--all") {
                 cli.run_all = true;
+                cli.seen.push_back("all");
             } else if (matches("trials")) {
                 cli.options.trials = static_cast<int>(integer("trials"));
+                cli.trials_given = true;
+                cli.seen.push_back("trials");
+            } else if (matches("gadget")) {
+                cli.gadget = value("gadget");
+                cli.seen.push_back("gadget");
+            } else if (matches("grid")) {
+                cli.grid_args.push_back(value("grid"));
+                cli.seen.push_back("grid");
             } else if (matches("jobs")) {
                 cli.options.jobs = static_cast<int>(integer("jobs"));
+                cli.seen.push_back("jobs");
             } else if (matches("seed")) {
                 cli.options.seed =
                     static_cast<std::uint64_t>(integer("seed"));
+                cli.seen.push_back("seed");
             } else if (matches("format")) {
                 cli.options.format = formatFromName(value("format"));
+                cli.seen.push_back("format");
             } else if (matches("profile")) {
                 cli.options.profile = value("profile");
+                cli.seen.push_back("profile");
             } else if (matches("param")) {
                 cli.options.params.setFromArg(value("param"));
+                cli.seen.push_back("param");
             } else if (arg.rfind("--", 0) == 0) {
                 fatal("unknown option '" + arg + "'");
             } else {
@@ -157,6 +193,77 @@ cmdProfiles(const Cli &cli)
     return 0;
 }
 
+/** Reject operands/flags a subcommand would otherwise ignore. */
+void
+rejectStray(const Cli &cli, const std::string &command)
+{
+    if (command != "run" && !cli.positional.empty())
+        fatal(command + ": unexpected operand '" +
+              cli.positional.front() + "'");
+    std::vector<std::string> allowed = {"format"};
+    if (command == "run") {
+        allowed.insert(allowed.end(), {"all", "trials", "jobs", "seed",
+                                       "profile", "param"});
+    } else if (command == "sweep") {
+        allowed.insert(allowed.end(), {"gadget", "grid", "trials",
+                                       "jobs", "seed", "profile",
+                                       "param"});
+    }
+    for (const std::string &flag : cli.seen) {
+        bool ok = false;
+        for (const std::string &name : allowed)
+            ok |= name == flag;
+        fatalIf(!ok, command + ": --" + flag +
+                         " does not apply to this command");
+    }
+}
+
+int
+cmdGadgets(const Cli &cli)
+{
+    Table table({"gadget", "kind", "parameters", "description"});
+    for (const GadgetInfo *gadget : GadgetRegistry::instance().all())
+        table.addRow({gadget->name, gadget->kind, gadget->params,
+                      gadget->description});
+    if (cli.options.format == Format::Table) {
+        table.print();
+        std::printf("\n%zu gadgets registered\n",
+                    GadgetRegistry::instance().all().size());
+    } else {
+        std::fputs((cli.options.format == Format::Json
+                        ? table.renderJson()
+                        : table.renderCsv())
+                       .c_str(),
+                   stdout);
+    }
+    return 0;
+}
+
+int
+cmdSweep(const Cli &cli)
+{
+    fatalIf(cli.gadget.empty(), "sweep: --gadget=NAME is required "
+                                "(see `hr_bench gadgets`)");
+    SweepOptions options;
+    options.gadget = cli.gadget;
+    if (!cli.options.profile.empty())
+        options.profile = cli.options.profile;
+    if (cli.trials_given)
+        options.trials = cli.options.trials;
+    options.jobs = cli.options.jobs;
+    options.seed = cli.options.seed;
+    options.params = cli.options.params;
+    for (const std::string &arg : cli.grid_args)
+        options.grid.push_back(parseSweepAxis(arg));
+    if (cli.options.format == Format::Table)
+        options.progress = [](const std::string &text) {
+            std::fprintf(stderr, "  .. %s\n", text.c_str());
+        };
+    ResultTable result = runSweep(options);
+    std::fputs(result.render(cli.options.format).c_str(), stdout);
+    return result.passed() ? 0 : 1;
+}
+
 int
 cmdRun(Cli cli)
 {
@@ -207,10 +314,15 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     try {
         const Cli cli = Cli::parse(argc, argv);
+        rejectStray(cli, command);
         if (command == "list")
             return cmdList(cli);
         if (command == "profiles")
             return cmdProfiles(cli);
+        if (command == "gadgets")
+            return cmdGadgets(cli);
+        if (command == "sweep")
+            return cmdSweep(cli);
         if (command == "run")
             return cmdRun(cli);
         if (command == "help" || command == "--help" || command == "-h") {

@@ -1,95 +1,62 @@
 /**
  * @file
- * A tour of every gadget in the library: races, magnifiers, and the
- * generalized PLRU pin-pattern search.
+ * A tour of every registered gadget: construct each TimingSource by
+ * name, find a machine profile it runs on, calibrate, and transmit one
+ * bit each way. The whole library surface in one loop — adding a new
+ * gadget to the registry adds it to this tour automatically.
  */
 
 #include <cstdio>
+#include <exception>
 
-#include "gadgets/arbitrary_magnifier.hh"
-#include "gadgets/arith_magnifier.hh"
-#include "gadgets/plru_magnifier.hh"
-#include "gadgets/plru_pattern.hh"
-#include "gadgets/racing.hh"
+#include "gadgets/gadget_registry.hh"
+#include "sim/profiles.hh"
 
 using namespace hr;
 
 int
 main()
 {
-    std::printf("-- 1. transient P/A racing gadget (section 5.1) --\n");
-    {
-        Machine machine;
-        TransientPaRaceConfig config;
-        config.refOps = 30;
-        for (int n : {10, 25, 35, 60}) {
-            TransientPaRace race(machine, config,
-                                 TargetExpr::opChain(Opcode::Add, n));
-            race.train();
-            std::printf("  %2d-add expression vs 30-add baseline: "
-                        "probe %s\n", n,
-                        race.attackAndProbe() ? "present (slower)"
-                                              : "absent (faster)");
+    for (const GadgetInfo *info : GadgetRegistry::instance().all()) {
+        std::printf("-- %s [%s] --\n  %s\n", info->name.c_str(),
+                    info->kind.c_str(), info->description.c_str());
+
+        // First profile the gadget is compatible with (a sweep would
+        // report the rest as `incompatible`).
+        auto source = GadgetRegistry::instance().make(info->name);
+        std::unique_ptr<Machine> machine;
+        std::string profile_name;
+        for (const MachineProfile &profile : machineProfiles()) {
+            auto candidate = std::make_unique<Machine>(profile.make());
+            if (source->compatible(*candidate)) {
+                machine = std::move(candidate);
+                profile_name = profile.name;
+                break;
+            }
         }
-    }
-
-    std::printf("\n-- 2. PLRU magnifier (section 6.1) --\n");
-    {
-        Machine machine(MachineConfig::plruProfile());
-        auto config = PlruMagnifier::makeConfig(machine, 3, 2000);
-        PlruMagnifier magnifier(machine, config,
-                                PlruVariant::PresenceAbsence);
-        magnifier.prime();
-        const Cycle absent = magnifier.traverse().cycles;
-        magnifier.prime();
-        machine.warm(config.a, 1);
-        const Cycle present = magnifier.traverse().cycles;
-        std::printf("  one fetched line amplified into %.1f us vs "
-                    "%.1f us (>> 5 us browser tick)\n",
-                    machine.toUs(present), machine.toUs(absent));
-    }
-
-    std::printf("\n-- 3. arbitrary-replacement magnifier "
-                "(section 6.3) --\n");
-    {
-        MachineConfig mc = MachineConfig::randomL1Profile();
-        mc.memory.l1.policy = PolicyKind::Lru;
-        Machine machine(mc);
-        ArbitraryMagnifierConfig config;
-        config.repeats = 100;
-        ArbitraryMagnifier magnifier(machine, config);
-        std::printf("  100 iterations of chain-reaction contention: "
-                    "%.1f us difference\n",
-                    machine.toUs(magnifier.measureDelta()));
-    }
-
-    std::printf("\n-- 4. arithmetic-only magnifier (section 6.4) --\n");
-    {
-        Machine machine;
-        ArithMagnifierConfig config;
-        config.stages = 4000;
-        ArithMagnifier magnifier(machine, config);
-        std::printf("  4000 divider-contention stages, no cache use: "
-                    "%.1f us difference\n",
-                    machine.toUs(magnifier.measureDelta()));
-    }
-
-    std::printf("\n-- 5. generalized PLRU pin patterns --\n");
-    for (int assoc : {4, 8, 16}) {
-        auto pattern = findPinPattern(assoc, 20);
-        if (!pattern) {
-            std::printf("  W=%d: no pattern\n", assoc);
+        if (!machine) {
+            std::printf("  (no compatible machine profile)\n\n");
             continue;
         }
-        std::printf("  W=%2d: period %zu with %d misses/period: ",
-                    assoc, pattern->accesses.size(),
-                    pattern->missesPerPeriod);
-        for (int line : pattern->accesses)
-            std::printf("%c", 'A' + line);
-        std::printf("  (valid: %s)\n",
-                    validatePinPattern(assoc, *pattern) ? "yes" : "NO");
+
+        try {
+            source->calibrate(*machine);
+            const TimingSample fast = source->sample(*machine, false);
+            const TimingSample slow = source->sample(*machine, true);
+            std::printf("  on `%s`: transmit 0 -> %.1f us (bit %d), "
+                        "transmit 1 -> %.1f us (bit %d)\n",
+                        profile_name.c_str(), machine->toNs(fast.cycles)
+                            / 1e3, fast.bit ? 1 : 0,
+                        machine->toNs(slow.cycles) / 1e3,
+                        slow.bit ? 1 : 0);
+        } catch (const std::exception &e) {
+            std::printf("  on `%s`: %s\n", profile_name.c_str(),
+                        e.what());
+        }
+        std::printf("\n");
     }
-    std::printf("  W= 2: %s (provably none — see tests)\n",
-                findPinPattern(2, 20) ? "found?!" : "no pattern exists");
+
+    std::printf("compose your own: Pipeline().then(encoder)"
+                ".then(amplifier) — see gadgets/sources.hh\n");
     return 0;
 }

@@ -1,13 +1,15 @@
 /**
  * @file
- * Quickstart: build a stealthy fine-grained timer from loads,
- * arithmetic, a branch, and a 5-microsecond clock — then use it to
- * tell a cache hit from a miss.
+ * Quickstart: every timing primitive in the library is a TimingSource,
+ * constructible by string name from the GadgetRegistry. Build the
+ * paper's stealthy timer, calibrate it, and read secret bits — then
+ * see why the bare 5-microsecond clock needs the magnification.
  */
 
 #include <cstdio>
 
-#include "gadgets/hacky_timer.hh"
+#include "gadgets/gadget_registry.hh"
+#include "sim/profiles.hh"
 
 using namespace hr;
 
@@ -15,39 +17,49 @@ int
 main()
 {
     // A machine with a 4-way tree-PLRU L1 (the paper's configuration).
-    Machine machine(MachineConfig::plruProfile());
+    Machine machine(machineConfigForProfile("plru"));
 
-    // The timer: transient P/A racing gadget + PLRU magnifier + coarse
-    // clock. The reference path of 12 MULs (~36 cycles) separates an
-    // L1 hit (~4) from anything slower.
-    HackyTimerConfig config;
-    config.refOps = 12;
-    HackyTimer timer(machine, config);
-    timer.calibrate();
-    std::printf("calibrated decision threshold: %.0f ns of magnifier "
-                "time\n", timer.thresholdNs());
+    // The composed attack stack by name: a transient P/A racing gadget
+    // feeding the PLRU magnifier, read with the 5 us browser clock.
+    // `slow_ops`/`fast_ops` set the two expressions being compared
+    // against the `ref_ops`-add reference path.
+    ParamSet params;
+    params.set("ref_ops", "20");
+    params.set("slow_ops", "60");
+    params.set("fast_ops", "5");
+    auto timer = GadgetRegistry::instance().make("hacky_pipeline", params);
+    std::printf("source: %s\n  %s\n", timer->name().c_str(),
+                timer->describe().c_str());
 
-    constexpr Addr kTarget = 0x500'0000;
+    // Calibrate the coarse-clock decision threshold from the two known
+    // magnifier states, then observe: sample(machine, secret) returns
+    // the quantized duration and the decoded bit.
+    timer->calibrate(machine);
+    for (bool secret : {false, true, true, false}) {
+        const TimingSample sample = timer->sample(machine, secret);
+        std::printf("  transmitted %d -> %7.1f us on the 5 us clock, "
+                    "decoded %d %s\n",
+                    secret ? 1 : 0, sample.ns / 1e3, sample.bit ? 1 : 0,
+                    sample.bit == secret ? "(correct)" : "(WRONG)");
+    }
 
-    machine.warm(kTarget, 1); // cached
-    std::printf("target cached:  loadIsSlow = %s (expect no)\n",
-                timer.loadIsSlow(kTarget) ? "yes" : "no");
+    // The same bits through the bare coarse clock — no magnifier, no
+    // race. At 5 us resolution a 55-add difference is invisible, which
+    // is exactly why the paper builds the stack above.
+    ParamSet bare_params;
+    bare_params.set("slow_ops", "60");
+    bare_params.set("fast_ops", "5");
+    auto bare =
+        GadgetRegistry::instance().make("coarse_timer", bare_params);
+    bare->calibrate(machine);
+    int correct = 0;
+    for (bool secret : {false, true, true, false})
+        correct += bare->sample(machine, secret).bit == secret ? 1 : 0;
+    std::printf("\nbare coarse_timer on the same bits: %d/4 decoded "
+                "correctly — magnification is the whole game.\n",
+                correct);
 
-    machine.flushLine(kTarget); // evicted
-    std::printf("target flushed: loadIsSlow = %s (expect yes)\n",
-                timer.loadIsSlow(kTarget) ? "yes" : "no");
-
-    // The same timer answers "is this expression longer than the
-    // reference?" for arbitrary computation.
-    std::printf("5 adds  > 36 cycles? %s (expect no)\n",
-                timer.exprIsSlow(TargetExpr::opChain(Opcode::Add, 5))
-                    ? "yes" : "no");
-    std::printf("90 adds > 36 cycles? %s (expect yes)\n",
-                timer.exprIsSlow(TargetExpr::opChain(Opcode::Add, 90))
-                    ? "yes" : "no");
-
-    std::printf("\nAll of this used only loads, arithmetic, one "
-                "branch, and a %.0f us clock.\n",
-                config.timer.resolutionNs / 1e3);
+    std::printf("\nEverything above used only loads, arithmetic, one "
+                "branch, and a 5 us clock.\n");
     return 0;
 }

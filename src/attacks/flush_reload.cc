@@ -14,55 +14,12 @@ FlushReloadRepetition::FlushReloadRepetition(
 RepetitionGadget
 FlushReloadRepetition::makeGadget(bool same_addr, bool racing)
 {
-    const Addr victim_addr =
-        same_addr ? config_.probeAddr : config_.otherAddr;
-
-    // Stage 1: evict — flush the probe line (an eviction-set traversal
-    // in a browser; modelled by the clflush-like harness primitive so
-    // the stage itself has constant cost).
-    RepetitionGadget::Stage evict;
-    evict.name = "evict";
-    {
-        ProgramBuilder builder("fr_evict");
-        RegId r = builder.movImm(0);
-        builder.opChain(Opcode::Add, 40, r, 1); // fixed eviction work
-        builder.halt();
-        evict.program = builder.take();
-    }
-    evict.setup = [probe = config_.probeAddr](Machine &machine) {
-        machine.flushLine(probe);
-    };
-
-    // Stage 2: load — the victim's access (same or different line).
-    RepetitionGadget::Stage load;
-    load.name = "load";
-    if (racing) {
-        load.program = makeConstantTimeStage(
-            TargetExpr::loadLatency(victim_addr), Opcode::Add,
-            config_.envelopeOps, config_.syncAddr, "fr_load_raced");
-        load.setup = [sync = config_.syncAddr](Machine &machine) {
-            machine.flushLine(sync);
-        };
-    } else {
-        ProgramBuilder builder("fr_load");
-        builder.loadAbsolute(victim_addr);
-        builder.halt();
-        load.program = builder.take();
-    }
-
-    // Stage 3: reload — the attacker's probe access.
-    RepetitionGadget::Stage reload;
-    reload.name = "reload";
-    {
-        ProgramBuilder builder("fr_reload");
-        builder.loadAbsolute(config_.probeAddr);
-        builder.halt();
-        reload.program = builder.take();
-    }
-
-    return RepetitionGadget(machine_,
-                            {std::move(evict), std::move(load),
-                             std::move(reload)});
+    FlushReloadStages stages;
+    stages.probeAddr = config_.probeAddr;
+    stages.otherAddr = config_.otherAddr;
+    stages.syncAddr = config_.syncAddr;
+    stages.envelopeOps = config_.envelopeOps;
+    return makeFlushReloadGadget(machine_, stages, same_addr, racing);
 }
 
 FlushReloadOutcome

@@ -1,5 +1,6 @@
 #include "attacks/spectreback.hh"
 
+#include "timer/calibration.hh"
 #include "util/log.hh"
 
 namespace hr
@@ -133,23 +134,22 @@ SpectreBack::runTrialAndTime(std::int64_t x, std::int64_t shift)
 void
 SpectreBack::calibrate()
 {
-    // Force both reorder outcomes directly and time the magnifier.
-    primeTrial();
-    machine_.warm(magConfig_.a, 1); // A first -> pinned -> slow
-    machine_.warm(magConfig_.b, 1);
-    const double begin_slow = coarse_.nowNs(machine_.now());
-    magnifier_->traverse();
-    const double slow = coarse_.nowNs(machine_.now()) - begin_slow;
-
-    primeTrial();
-    machine_.warm(magConfig_.b, 1); // B first -> A evicted -> fast
-    machine_.warm(magConfig_.a, 1);
-    const double begin_fast = coarse_.nowNs(machine_.now());
-    magnifier_->traverse();
-    const double fast = coarse_.nowNs(machine_.now()) - begin_fast;
-
-    fatalIf(slow <= fast, "SpectreBack::calibrate: no magnifier signal");
-    thresholdNs_ = 0.5 * (slow + fast);
+    // Force both reorder outcomes directly and time the magnifier:
+    // A first -> pinned -> slow; B first -> A evicted -> fast.
+    thresholdNs_ = calibrateThreshold(
+                       [&](bool slow) {
+                           primeTrial();
+                           machine_.warm(slow ? magConfig_.a
+                                              : magConfig_.b, 1);
+                           machine_.warm(slow ? magConfig_.b
+                                              : magConfig_.a, 1);
+                           const double begin =
+                               coarse_.nowNs(machine_.now());
+                           magnifier_->traverse();
+                           return coarse_.nowNs(machine_.now()) - begin;
+                       },
+                       "SpectreBack::calibrate")
+                       .thresholdNs;
 }
 
 bool

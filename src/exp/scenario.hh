@@ -15,41 +15,17 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "exp/result.hh"
 #include "sim/machine.hh"
+#include "util/params.hh"
 #include "util/rng.hh"
 
 namespace hr
 {
-
-/** String-keyed scenario parameters with typed accessors. */
-class ParamSet
-{
-  public:
-    void set(const std::string &key, const std::string &value);
-
-    /** Parse "key=value" (fatal if '=' is missing). */
-    void setFromArg(const std::string &arg);
-
-    bool has(const std::string &key) const;
-    std::string get(const std::string &key, const std::string &def) const;
-    long long getInt(const std::string &key, long long def) const;
-    double getDouble(const std::string &key, double def) const;
-    bool getBool(const std::string &key, bool def) const;
-
-    const std::map<std::string, std::string> &entries() const
-    {
-        return entries_;
-    }
-
-  private:
-    std::map<std::string, std::string> entries_;
-};
 
 /**
  * Execution context handed to Scenario::run().

@@ -1,0 +1,251 @@
+#include "exp/sweep.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "exp/scenario.hh"
+#include "gadgets/gadget_registry.hh"
+#include "sim/profiles.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+
+namespace hr
+{
+
+namespace
+{
+
+/** Parse a whole token as an integer (no trailing junk). */
+long long
+parseRangeInt(const std::string &text, const std::string &key,
+              const std::string &spec)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    fatalIf(end == text.c_str() || *end != '\0',
+            "--grid " + key + ": bad range '" + spec +
+                "' (use lo:hi[:step])");
+    return v;
+}
+
+/** Expand "lo:hi[:step]" into an inclusive integer range. */
+std::vector<std::string>
+expandRange(const std::string &spec, const std::string &key)
+{
+    const auto first = spec.find(':');
+    const auto second = spec.find(':', first + 1);
+    const std::string lo_text = spec.substr(0, first);
+    const std::string hi_text =
+        spec.substr(first + 1, second == std::string::npos
+                                   ? std::string::npos
+                                   : second - first - 1);
+    const std::string step_text =
+        second == std::string::npos ? "1" : spec.substr(second + 1);
+    const long long lo = parseRangeInt(lo_text, key, spec);
+    const long long hi = parseRangeInt(hi_text, key, spec);
+    const long long step = parseRangeInt(step_text, key, spec);
+    fatalIf(step <= 0, "--grid " + key + ": step must be positive");
+    fatalIf(hi < lo, "--grid " + key + ": empty range '" + spec + "'");
+    // Refuse absurd axes before materializing them (the sweep-wide
+    // point cap could otherwise only fire after an OOM-sized expand).
+    constexpr long long kMaxAxisValues = 1'000'000;
+    fatalIf((hi - lo) / step + 1 > kMaxAxisValues,
+            "--grid " + key + ": range '" + spec + "' expands to more "
+            "than " + std::to_string(kMaxAxisValues) + " values");
+    std::vector<std::string> values;
+    for (long long v = lo; v <= hi; v += step)
+        values.push_back(std::to_string(v));
+    return values;
+}
+
+/** One grid point's outcome. */
+struct SweepRow
+{
+    std::vector<std::string> axisValues;
+    std::string status = "ok";
+    double fastCycles = 0;
+    double slowCycles = 0;
+    double deltaUs = 0;
+    double accuracy = 0;
+};
+
+} // namespace
+
+SweepAxis
+parseSweepAxis(const std::string &arg)
+{
+    const auto eq = arg.find('=');
+    fatalIf(eq == std::string::npos || eq == 0 || eq + 1 >= arg.size(),
+            "--grid must be key=v1,v2,... or key=lo:hi[:step], got '" +
+                arg + "'");
+    SweepAxis axis;
+    axis.key = arg.substr(0, eq);
+    const std::string spec = arg.substr(eq + 1);
+    if (spec.find(':') != std::string::npos) {
+        axis.values = expandRange(spec, axis.key);
+        return axis;
+    }
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const auto comma = spec.find(',', start);
+        const std::string value =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        fatalIf(value.empty(),
+                "--grid " + axis.key + ": empty value in '" + spec + "'");
+        axis.values.push_back(value);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return axis;
+}
+
+ResultTable
+runSweep(const SweepOptions &options)
+{
+    fatalIf(options.trials < 1, "sweep: trials must be >= 1");
+    const GadgetInfo &gadget =
+        GadgetRegistry::instance().resolve(options.gadget);
+    // Validate the profile up front (fatal with the known names).
+    machineConfigForProfile(options.profile);
+
+    // Expand the cartesian grid, last axis fastest.
+    constexpr long long kMaxPoints = 1'000'000;
+    long long total = 1;
+    for (std::size_t a = 0; a < options.grid.size(); ++a) {
+        const SweepAxis &axis = options.grid[a];
+        fatalIf(axis.values.empty(),
+                "--grid " + axis.key + ": no values");
+        for (std::size_t b = 0; b < a; ++b)
+            fatalIf(options.grid[b].key == axis.key,
+                    "--grid " + axis.key + ": duplicate axis (the "
+                    "later one would silently win)");
+        total *= static_cast<long long>(axis.values.size());
+        fatalIf(total > kMaxPoints,
+                "sweep: grid expands to more than " +
+                    std::to_string(kMaxPoints) + " points");
+    }
+    const int points = static_cast<int>(total);
+    auto axis_values = [&](int index) {
+        std::vector<std::string> values(options.grid.size());
+        for (std::size_t a = options.grid.size(); a-- > 0;) {
+            const auto &axis = options.grid[a];
+            const int n = static_cast<int>(axis.values.size());
+            values[a] = axis.values[static_cast<std::size_t>(index % n)];
+            index /= n;
+        }
+        return values;
+    };
+
+    ScenarioContext ctx(options.trials, options.jobs, options.seed,
+                        options.profile, options.params,
+                        options.progress);
+
+    const std::vector<SweepRow> rows = ctx.parallelMap(
+        points, [&](int index, Rng &) {
+            SweepRow row;
+            row.axisValues = axis_values(index);
+            ParamSet point;
+            for (std::size_t a = 0; a < options.grid.size(); ++a)
+                point.set(options.grid[a].key, row.axisValues[a]);
+            const ParamSet params = options.params.overriddenBy(point);
+            try {
+                // --seed drives each point's machine noise streams
+                // (latency jitter, random-replacement choices) while
+                // staying deterministic per grid index, so repeats
+                // with different seeds are independent replicates.
+                MachineConfig mc = ctx.machineConfig();
+                mc.memory.rngSeed ^= ctx.indexSeed(index);
+                mc.memory.l1.rngSeed ^= ctx.indexSeed(index);
+                mc.memory.l2.rngSeed ^= ctx.indexSeed(index);
+                mc.memory.l3.rngSeed ^= ctx.indexSeed(index);
+                Machine machine(mc);
+                auto source =
+                    GadgetRegistry::instance().make(gadget.name, params);
+                if (!source->compatible(machine)) {
+                    row.status = "incompatible";
+                    return row;
+                }
+                source->calibrate(machine);
+                double fast_sum = 0, slow_sum = 0;
+                int correct = 0;
+                for (int t = 0; t < options.trials; ++t) {
+                    for (bool secret : {false, true}) {
+                        const TimingSample s =
+                            source->sample(machine, secret);
+                        (secret ? slow_sum : fast_sum) +=
+                            static_cast<double>(s.cycles);
+                        correct += s.bit == secret ? 1 : 0;
+                    }
+                }
+                const double trials =
+                    static_cast<double>(options.trials);
+                row.fastCycles = fast_sum / trials;
+                row.slowCycles = slow_sum / trials;
+                row.deltaUs = machine.toUs(static_cast<Cycle>(
+                    row.slowCycles > row.fastCycles
+                        ? row.slowCycles - row.fastCycles
+                        : 0));
+                row.accuracy =
+                    static_cast<double>(correct) / (2.0 * trials);
+            } catch (const std::exception &e) {
+                row.status = std::string("error: ") + e.what();
+            }
+            return row;
+        });
+
+    std::vector<std::string> headers;
+    for (const SweepAxis &axis : options.grid)
+        headers.push_back(axis.key);
+    for (const char *column :
+         {"status", "fast cycles", "slow cycles", "delta (us)",
+          "bit accuracy"}) {
+        headers.push_back(column);
+    }
+    Table table(headers);
+    for (const SweepRow &row : rows) {
+        std::vector<std::string> cells = row.axisValues;
+        cells.push_back(row.status);
+        if (row.status == "ok") {
+            cells.push_back(Table::num(row.fastCycles, 1));
+            cells.push_back(Table::num(row.slowCycles, 1));
+            cells.push_back(Table::num(row.deltaUs, 3));
+            cells.push_back(Table::num(row.accuracy, 3));
+        } else {
+            for (int i = 0; i < 4; ++i)
+                cells.push_back("-");
+        }
+        table.addRow(std::move(cells));
+    }
+
+    std::string grid_spec;
+    for (const SweepAxis &axis : options.grid) {
+        grid_spec += (grid_spec.empty() ? "" : " ") + axis.key + "=";
+        for (std::size_t v = 0; v < axis.values.size(); ++v)
+            grid_spec += (v ? "," : "") + axis.values[v];
+    }
+
+    ResultTable result;
+    result.setScenario("sweep_" + gadget.name,
+                       "parameter sweep: " + gadget.name + " on " +
+                           options.profile,
+                       gadget.description);
+    result.addMeta("gadget", gadget.name);
+    result.addMeta("profile", options.profile);
+    result.addMeta("trials", std::to_string(options.trials));
+    result.addMeta("seed", std::to_string(options.seed));
+    if (!grid_spec.empty())
+        result.addMeta("grid", grid_spec);
+    result.addTable("", std::move(table));
+    // A sweep where no point ran is a failure (exit nonzero in the
+    // driver), not a quietly empty success.
+    bool any_ok = false;
+    for (const SweepRow &row : rows)
+        any_ok |= row.status == "ok";
+    result.addCheck("at least one grid point ran", any_ok);
+    return result;
+}
+
+} // namespace hr

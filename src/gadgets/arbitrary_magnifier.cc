@@ -154,6 +154,13 @@ ArbitraryMagnifier::prime()
 }
 
 Cycle
+ArbitraryMagnifier::traverse()
+{
+    RunResult result = machine_.run(program_);
+    return result.cycles();
+}
+
+Cycle
 ArbitraryMagnifier::run(bool input_present)
 {
     prime();
@@ -161,8 +168,7 @@ ArbitraryMagnifier::run(bool input_present)
         machine_.warm(config_.inputAddr, 1);
     else
         machine_.flushLine(config_.inputAddr);
-    RunResult result = machine_.run(program_);
-    return result.cycles();
+    return traverse();
 }
 
 Cycle

@@ -77,6 +77,16 @@ class ArbitraryMagnifier
     /** Address of SEQ line k of set-step position s. */
     Addr seqAddr(int set, int k) const;
 
+    /** Establish the initial cache state (PAR staged, SEQ resident). */
+    void prime();
+
+    /**
+     * Run the traversal over the current cache state (prime() and the
+     * input line's presence/absence are the caller's business — this
+     * is the amplify step of a composed pipeline).
+     */
+    Cycle traverse();
+
   private:
     Machine &machine_;
     ArbitraryMagnifierConfig config_;
@@ -85,7 +95,6 @@ class ArbitraryMagnifier
 
     Addr parAddrOffset(int set, int j) const;
     void build();
-    void prime();
 };
 
 } // namespace hr

@@ -69,17 +69,29 @@ ArithMagnifier::build()
     program_ = builder.take();
 }
 
-Cycle
-ArithMagnifier::run(bool input_present)
+void
+ArithMagnifier::prepare()
 {
     machine_.warm(config_.alignAddrA, 1);
     machine_.flushLine(config_.syncAddr);
+}
+
+Cycle
+ArithMagnifier::traverse()
+{
+    RunResult result = machine_.run(program_);
+    return result.cycles();
+}
+
+Cycle
+ArithMagnifier::run(bool input_present)
+{
+    prepare();
     if (input_present)
         machine_.warm(config_.inputAddr, 1);
     else
         machine_.flushLine(config_.inputAddr);
-    RunResult result = machine_.run(program_);
-    return result.cycles();
+    return traverse();
 }
 
 Cycle

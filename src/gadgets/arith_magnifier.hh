@@ -58,6 +58,16 @@ class ArithMagnifier
     /** Cycle delta between absent and present inputs. */
     Cycle measureDelta();
 
+    /** Warm PathA's head, chill the sync line (before each run). */
+    void prepare();
+
+    /**
+     * Run the racing stages over the current cache state (prepare()
+     * and the input line's state are the caller's business — the
+     * amplify step of a composed pipeline).
+     */
+    Cycle traverse();
+
   private:
     Machine &machine_;
     ArithMagnifierConfig config_;

@@ -1,0 +1,129 @@
+#include "gadgets/gadget_registry.hh"
+
+#include <algorithm>
+
+#include "gadgets/sources.hh"
+#include "util/log.hh"
+
+namespace hr
+{
+
+GadgetRegistry &
+GadgetRegistry::instance()
+{
+    static GadgetRegistry registry;
+    // Builtin sources are registered by an explicit call (not static
+    // initializers) so a static-archive link cannot drop them.
+    static const bool builtins_registered = [] {
+        registerBuiltinSources(registry);
+        return true;
+    }();
+    (void)builtins_registered;
+    return registry;
+}
+
+void
+GadgetRegistry::add(GadgetInfo info)
+{
+    fatalIf(info.name.empty(), "GadgetRegistry: empty gadget name");
+    fatalIf(!info.factory, "GadgetRegistry: gadget '" + info.name +
+                               "' has no factory");
+    fatalIf(find(info.name) != nullptr,
+            "GadgetRegistry: duplicate gadget '" + info.name + "'");
+    gadgets_.push_back(std::move(info));
+}
+
+const GadgetInfo *
+GadgetRegistry::find(const std::string &name) const
+{
+    for (const GadgetInfo &gadget : gadgets_)
+        if (gadget.name == name)
+            return &gadget;
+    return nullptr;
+}
+
+const GadgetInfo &
+GadgetRegistry::resolve(const std::string &name) const
+{
+    if (const GadgetInfo *exact = find(name))
+        return *exact;
+    std::vector<const GadgetInfo *> matches;
+    for (const GadgetInfo &gadget : gadgets_)
+        if (gadget.name.rfind(name, 0) == 0)
+            matches.push_back(&gadget);
+    if (matches.size() == 1)
+        return *matches.front();
+    std::string known;
+    for (const GadgetInfo *gadget :
+         matches.empty() ? all() : matches) {
+        known += (known.empty() ? "" : ", ") + gadget->name;
+    }
+    fatal(matches.empty()
+              ? "unknown gadget '" + name + "' (known: " + known + ")"
+              : "ambiguous gadget prefix '" + name + "' (matches: " +
+                    known + ")");
+}
+
+std::unique_ptr<TimingSource>
+GadgetRegistry::make(const std::string &name, const ParamSet &params) const
+{
+    const GadgetInfo &info = resolve(name);
+    // Reject keys the gadget does not declare: a typo'd parameter
+    // must not silently configure nothing.
+    for (const auto &[key, value] : params.entries()) {
+        (void)value;
+        bool known = false;
+        std::size_t start = 0;
+        while (start <= info.params.size()) {
+            const auto comma = info.params.find(',', start);
+            const std::string declared = info.params.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            if (declared == key) {
+                known = true;
+                break;
+            }
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        fatalIf(!known, "gadget '" + info.name + "' has no parameter '" +
+                            key + "' (parameters: " +
+                            (info.params.empty() ? "none"
+                                                 : info.params) +
+                            ")");
+    }
+    std::unique_ptr<TimingSource> source = info.factory();
+    source->configure(params);
+    return source;
+}
+
+std::vector<const GadgetInfo *>
+GadgetRegistry::all() const
+{
+    std::vector<const GadgetInfo *> out;
+    out.reserve(gadgets_.size());
+    for (const GadgetInfo &gadget : gadgets_)
+        out.push_back(&gadget);
+    std::sort(out.begin(), out.end(),
+              [](const GadgetInfo *a, const GadgetInfo *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+GadgetRegistrar::GadgetRegistrar(
+    std::string name, std::string kind, std::string params,
+    std::string description,
+    std::function<std::unique_ptr<TimingSource>()> factory)
+{
+    GadgetInfo info;
+    info.name = std::move(name);
+    info.kind = std::move(kind);
+    info.params = std::move(params);
+    info.description = std::move(description);
+    info.factory = std::move(factory);
+    GadgetRegistry::instance().add(std::move(info));
+}
+
+} // namespace hr

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Self-registering string-keyed gadget registry.
+ *
+ * Mirrors ScenarioRegistry and machineProfiles(): every TimingSource
+ * is constructible by a stable string name, so scenarios, examples,
+ * and the `hr_bench gadgets` / `hr_bench sweep` commands select
+ * timing primitives without compile-time coupling to their concrete
+ * classes. A new timer variant is one registration away:
+ *
+ *     HR_REGISTER_GADGET(MySource, "my_source", "amplifier",
+ *                        "repeats,set", "what it measures");
+ *
+ * The library's built-in sources register from an explicitly anchored
+ * translation unit (see registerBuiltinSources), so they survive
+ * static-archive dead stripping; the macro serves out-of-library
+ * extensions (benchmark or test translation units that are anchored
+ * by other means).
+ */
+
+#ifndef HR_GADGETS_GADGET_REGISTRY_HH
+#define HR_GADGETS_GADGET_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gadgets/timing_source.hh"
+
+namespace hr
+{
+
+/** One registered gadget. */
+struct GadgetInfo
+{
+    std::string name;        ///< CLI-stable identifier
+    std::string kind;        ///< encoder | amplifier | timer | composite
+    std::string params;      ///< documented parameter keys
+    std::string description; ///< one-line human summary
+    std::function<std::unique_ptr<TimingSource>()> factory;
+};
+
+/** Global name -> TimingSource factory registry (sorted listing). */
+class GadgetRegistry
+{
+  public:
+    static GadgetRegistry &instance();
+
+    /** Register a gadget (fatal on duplicate names). */
+    void add(GadgetInfo info);
+
+    /** Exact-name lookup; nullptr if absent. */
+    const GadgetInfo *find(const std::string &name) const;
+
+    /**
+     * Exact match, else unique prefix match (so `--gadget=arith`
+     * resolves arith_magnifier). Fatal on no match or an ambiguous
+     * prefix, listing the candidates.
+     */
+    const GadgetInfo &resolve(const std::string &name) const;
+
+    /**
+     * Construct and configure a source by name (exact or unique
+     * prefix). @p params are applied via TimingSource::configure.
+     */
+    std::unique_ptr<TimingSource> make(const std::string &name,
+                                       const ParamSet &params = {}) const;
+
+    /** All registered gadgets, sorted by name. */
+    std::vector<const GadgetInfo *> all() const;
+
+  private:
+    std::vector<GadgetInfo> gadgets_;
+};
+
+/** Static-init helper used by HR_REGISTER_GADGET. */
+struct GadgetRegistrar
+{
+    GadgetRegistrar(std::string name, std::string kind,
+                    std::string params, std::string description,
+                    std::function<std::unique_ptr<TimingSource>()> factory);
+};
+
+#define HR_REGISTER_GADGET(Type, name, kind, params, description)          \
+    static ::hr::GadgetRegistrar hrGadgetRegistrar_##Type{                 \
+        name, kind, params, description,                                   \
+        [] { return std::unique_ptr<::hr::TimingSource>(                   \
+                 std::make_unique<Type>()); }}
+
+} // namespace hr
+
+#endif // HR_GADGETS_GADGET_REGISTRY_HH

@@ -1,5 +1,6 @@
 #include "gadgets/hacky_timer.hh"
 
+#include "timer/calibration.hh"
 #include "util/log.hh"
 
 namespace hr
@@ -61,17 +62,15 @@ HackyTimer::calibrate()
 {
     // Known-fast: probe absent. Known-slow: probe present (inserted the
     // same way the racing gadget would insert it).
-    magnifier_->prime();
-    const double fast = magnifyAndTime();
-
-    magnifier_->prime();
-    machine_.warm(magConfig_.a, 1);
-    const double slow = magnifyAndTime();
-
-    fatalIf(slow <= fast,
-            "HackyTimer::calibrate: magnifier produced no signal; "
-            "increase magnifierRepeats or check the timer resolution");
-    thresholdNs_ = 0.5 * (slow + fast);
+    thresholdNs_ = calibrateThreshold(
+                       [&](bool slow) {
+                           magnifier_->prime();
+                           if (slow)
+                               machine_.warm(magConfig_.a, 1);
+                           return magnifyAndTime();
+                       },
+                       "HackyTimer::calibrate")
+                       .thresholdNs;
 }
 
 bool

@@ -50,6 +50,60 @@ RepetitionGadget::run(int rounds)
     return breakdown;
 }
 
+RepetitionGadget
+makeFlushReloadGadget(Machine &machine, const FlushReloadStages &stages,
+                      bool same_addr, bool racing)
+{
+    const Addr victim_addr =
+        same_addr ? stages.probeAddr : stages.otherAddr;
+
+    // Stage 1: evict — flush the probe line (an eviction-set traversal
+    // in a browser; modelled by the clflush-like harness primitive so
+    // the stage itself has constant cost).
+    RepetitionGadget::Stage evict;
+    evict.name = "evict";
+    {
+        ProgramBuilder builder("fr_evict");
+        RegId r = builder.movImm(0);
+        builder.opChain(Opcode::Add, 40, r, 1); // fixed eviction work
+        builder.halt();
+        evict.program = builder.take();
+    }
+    evict.setup = [probe = stages.probeAddr](Machine &m) {
+        m.flushLine(probe);
+    };
+
+    // Stage 2: load — the victim's access (same or different line).
+    RepetitionGadget::Stage load;
+    load.name = "load";
+    if (racing) {
+        load.program = makeConstantTimeStage(
+            TargetExpr::loadLatency(victim_addr), Opcode::Add,
+            stages.envelopeOps, stages.syncAddr, "fr_load_raced");
+        load.setup = [sync = stages.syncAddr](Machine &m) {
+            m.flushLine(sync);
+        };
+    } else {
+        ProgramBuilder builder("fr_load");
+        builder.loadAbsolute(victim_addr);
+        builder.halt();
+        load.program = builder.take();
+    }
+
+    // Stage 3: reload — the attacker's probe access.
+    RepetitionGadget::Stage reload;
+    reload.name = "reload";
+    {
+        ProgramBuilder builder("fr_reload");
+        builder.loadAbsolute(stages.probeAddr);
+        builder.halt();
+        reload.program = builder.take();
+    }
+
+    return RepetitionGadget(machine, {std::move(evict), std::move(load),
+                                      std::move(reload)});
+}
+
 Program
 makeConstantTimeStage(const TargetExpr &payload, Opcode ref_op,
                       int ref_ops, Addr sync_addr, const std::string &name)

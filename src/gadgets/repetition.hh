@@ -69,6 +69,24 @@ Program makeConstantTimeStage(const TargetExpr &payload, Opcode ref_op,
                               int ref_ops, Addr sync_addr,
                               const std::string &name = "const_stage");
 
+/** Line layout of the flush+reload round (paper section 7.1, Fig. 7). */
+struct FlushReloadStages
+{
+    Addr probeAddr = 0x600'0000; ///< the shared line being probed
+    Addr otherAddr = 0x608'0000; ///< victim's alternative (kept warm)
+    Addr syncAddr = 0x100'0000;  ///< for the racing envelope
+    int envelopeOps = 260;       ///< baseline > worst-case load time
+};
+
+/**
+ * Build the evict / victim-load / reload repetition gadget of Fig. 7.
+ * @p same_addr selects which line the victim stage touches; @p racing
+ * hides the load stage inside a constant-time racing envelope.
+ */
+RepetitionGadget makeFlushReloadGadget(Machine &machine,
+                                       const FlushReloadStages &stages,
+                                       bool same_addr, bool racing);
+
 } // namespace hr
 
 #endif // HR_GADGETS_REPETITION_HH

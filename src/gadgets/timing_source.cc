@@ -1,0 +1,69 @@
+#include "gadgets/timing_source.hh"
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+double
+TimingSample::auxValue(const std::string &key, double def) const
+{
+    for (const auto &[name, value] : aux)
+        if (name == key)
+            return value;
+    return def;
+}
+
+Trace
+TimingSource::trace(Machine &machine, const std::vector<bool> &secrets)
+{
+    Trace samples;
+    samples.reserve(secrets.size());
+    for (bool secret : secrets)
+        samples.push_back(sample(machine, secret));
+    return samples;
+}
+
+void
+TimingSource::bindTarget(Machine &, Addr, Addr)
+{
+    fatal(name() + " is not an encoder (bindTarget unsupported)");
+}
+
+void
+TimingSource::primeEncoder(Machine &, bool)
+{
+    fatal(name() + " is not an encoder (primeEncoder unsupported)");
+}
+
+void
+TimingSource::transmit(Machine &, bool)
+{
+    fatal(name() + " is not an encoder (transmit unsupported)");
+}
+
+void
+TimingSource::prepare(Machine &)
+{
+    fatal(name() + " is not an amplifier (prepare unsupported)");
+}
+
+std::pair<Addr, Addr>
+TimingSource::inputLines(Machine &)
+{
+    fatal(name() + " is not an amplifier (inputLines unsupported)");
+}
+
+void
+TimingSource::forceInput(Machine &, bool)
+{
+    fatal(name() + " is not an amplifier (forceInput unsupported)");
+}
+
+Cycle
+TimingSource::amplify(Machine &)
+{
+    fatal(name() + " is not an amplifier (amplify unsupported)");
+}
+
+} // namespace hr

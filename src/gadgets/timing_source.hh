@@ -1,0 +1,160 @@
+/**
+ * @file
+ * TimingSource: the one interface every timing primitive speaks.
+ *
+ * The paper's contribution is a *family* of interchangeable gadgets —
+ * racing gadgets that encode "was this slower than the reference?"
+ * into microarchitectural state, magnifiers that stretch that state
+ * into coarse-clock-visible durations, repetition harnesses, and the
+ * composed hacky timers. TimingSource gives them a common surface:
+ *
+ *   - configure(params): apply string-keyed construction overrides
+ *     (what GadgetRegistry::make and `hr_bench sweep` feed in);
+ *   - calibrate(machine): establish decision thresholds from the two
+ *     known input states;
+ *   - sample(machine, secret): one complete observation of a secret
+ *     bit, returning a TimingSample. The polarity convention is
+ *     uniform: secret == true is the state that reads *slow*, so a
+ *     working source satisfies sample(m, true) slower than
+ *     sample(m, false) and, once calibrated, bit == secret;
+ *   - clone(): a fresh instance with the same configuration but no
+ *     machine binding or calibration (so clones are independent);
+ *   - describe(): one line of human documentation.
+ *
+ * Sources that can participate in composed attack pipelines
+ * additionally implement the encoder/amplifier hooks (see Pipeline in
+ * gadgets/sources.hh): an encoder writes the bit into cache state as
+ * the presence/absence (or insertion order) of the amplifier's input
+ * line(s); an amplifier primes its state, amplifies it into a long
+ * duration, and can force either input state for calibration.
+ */
+
+#ifndef HR_GADGETS_TIMING_SOURCE_HH
+#define HR_GADGETS_TIMING_SOURCE_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "util/params.hh"
+
+namespace hr
+{
+
+/** One observation produced by a TimingSource. */
+struct TimingSample
+{
+    Cycle cycles = 0;  ///< raw duration of the observation
+    double ns = 0.0;   ///< duration as the source's clock reports it
+    bool bit = false;  ///< decoded secret guess (valid after calibrate)
+
+    /** Source-specific extras, e.g. per-stage cycle breakdowns. */
+    std::vector<std::pair<std::string, double>> aux;
+
+    double auxValue(const std::string &key, double def = 0.0) const;
+};
+
+/** A sequence of observations (one per transmitted bit). */
+using Trace = std::vector<TimingSample>;
+
+/** The unified gadget abstraction. */
+class TimingSource
+{
+  public:
+    virtual ~TimingSource() = default;
+
+    /** Registry-stable identifier, e.g. "plru_pa_magnifier". */
+    virtual std::string name() const = 0;
+
+    /** One-line human description of what this source measures. */
+    virtual std::string describe() const = 0;
+
+    /** Apply string-keyed parameter overrides (before first use). */
+    virtual void configure(const ParamSet &params) { (void)params; }
+
+    /** True if the source can run on this machine's configuration. */
+    virtual bool compatible(const Machine &machine) const
+    {
+        (void)machine;
+        return true;
+    }
+
+    /** Establish decision thresholds. Default: nothing to calibrate. */
+    virtual void calibrate(Machine &machine) { (void)machine; }
+
+    /** One complete observation of @p secret (true = slow state). */
+    virtual TimingSample sample(Machine &machine, bool secret) = 0;
+
+    /**
+     * Fresh instance with identical configuration and no shared
+     * state: clones calibrate and bind to machines independently.
+     */
+    virtual std::unique_ptr<TimingSource> clone() const = 0;
+
+    /** Observe a whole bit sequence (one sample per element). */
+    Trace trace(Machine &machine, const std::vector<bool> &secrets);
+
+    // ---- pipeline composition hooks -------------------------------
+    //
+    // Defaults refuse: a source advertises a role by overriding the
+    // corresponding is*() predicate together with its hooks. One
+    // pipeline observation runs, per round:
+    //
+    //   encoder.primeEncoder()   (training; may pollute the target)
+    //   amplifier.prepare()      (prime the magnifier state)
+    //   encoder.transmit()       (the attack run: write the bit)
+    //   amplifier.amplify()      (stretch the state, read the clock)
+    //
+    // The bit travels as the presence/absence (or, for order-encoded
+    // amplifiers, primary-before-secondary insertion order) of the
+    // amplifier's input line(s): transmit(m, true) makes the primary
+    // line present / first.
+
+    /** True if this source can encode a bit into cache state. */
+    virtual bool isEncoder() const { return false; }
+
+    /** True if this source can amplify cache state into a duration. */
+    virtual bool isAmplifier() const { return false; }
+
+    /**
+     * Encoder: target the amplifier's input line(s). @p primary is the
+     * line whose presence/order carries the bit; @p secondary is the
+     * counterpart line for order-encoded amplifiers (0 if unused).
+     */
+    virtual void bindTarget(Machine &machine, Addr primary,
+                            Addr secondary);
+
+    /**
+     * Encoder: per-observation training for the @p present polarity
+     * (runs before the amplifier primes, because training may pollute
+     * the target line).
+     */
+    virtual void primeEncoder(Machine &machine, bool present);
+
+    /**
+     * Encoder: the attack run. @p present selects the target state to
+     * write: primary line present (or inserted first).
+     */
+    virtual void transmit(Machine &machine, bool present);
+
+    /** Amplifier: prime the magnifier state (before each transmit). */
+    virtual void prepare(Machine &machine);
+
+    /** Amplifier: the input line(s) an encoder should target. */
+    virtual std::pair<Addr, Addr> inputLines(Machine &machine);
+
+    /** Amplifier: does a *present* (or first-inserted) input read slow? */
+    virtual bool presentMeansSlow() const { return true; }
+
+    /** Amplifier: directly force the slow/fast input state. */
+    virtual void forceInput(Machine &machine, bool slow);
+
+    /** Amplifier: stretch the current state into a duration. */
+    virtual Cycle amplify(Machine &machine);
+};
+
+} // namespace hr
+
+#endif // HR_GADGETS_TIMING_SOURCE_HH

@@ -1,9 +1,23 @@
 #include "sim/machine.hh"
 
+#include <atomic>
+
 #include "util/log.hh"
 
 namespace hr
 {
+
+namespace
+{
+
+std::uint64_t
+nextMachineSerial()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
 
 MachineConfig
 MachineConfig::defaultProfile()
@@ -60,7 +74,8 @@ MachineConfig::withInterrupts(double interval_ms)
 }
 
 Machine::Machine(const MachineConfig &config)
-    : config_(config), hierarchy_(config.memory)
+    : config_(config), serial_(nextMachineSerial()),
+      hierarchy_(config.memory)
 {
     core_ = std::make_unique<OooCore>(config_.core, hierarchy_, memory_,
                                       predictor_);

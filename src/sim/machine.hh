@@ -67,6 +67,13 @@ class Machine
 
     const MachineConfig &config() const { return config_; }
 
+    /**
+     * Process-unique machine identity. Lets components that lazily
+     * bind to a machine (TimingSource adapters) detect that a new
+     * Machine was constructed at a recycled address and rebuild.
+     */
+    std::uint64_t serial() const { return serial_; }
+
     MemoryImage &memory() { return memory_; }
     const MemoryImage &memory() const { return memory_; }
     Hierarchy &hierarchy() { return hierarchy_; }
@@ -117,6 +124,7 @@ class Machine
 
   private:
     MachineConfig config_;
+    std::uint64_t serial_;
     MemoryImage memory_;
     Hierarchy hierarchy_;
     BranchPredictor predictor_;

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared coarse-clock threshold calibration.
+ *
+ * Every composed timer in the paper (HackyTimer, SpectreBack, generic
+ * attack pipelines) ends the same way: run the magnifier in both known
+ * states, read the coarse clock, and split the difference into a
+ * decision threshold. This is the one implementation of that step;
+ * the per-gadget part is only "how do I force the slow/fast state".
+ */
+
+#ifndef HR_TIMER_CALIBRATION_HH
+#define HR_TIMER_CALIBRATION_HH
+
+#include <functional>
+#include <string>
+
+namespace hr
+{
+
+/** Outcome of a two-point threshold calibration. */
+struct Calibration
+{
+    double fastNs = 0.0;      ///< observation in the known-fast state
+    double slowNs = 0.0;      ///< observation in the known-slow state
+    double thresholdNs = 0.0; ///< midpoint decision threshold
+
+    /** True iff the two states were separable (slow > fast). */
+    bool separable = false;
+
+    /** Decide one observation against the threshold. */
+    bool isSlow(double observed_ns) const
+    {
+        return observed_ns > thresholdNs;
+    }
+};
+
+/**
+ * Calibrate a decision threshold from one observation per known state.
+ *
+ * @p observe_ns runs one complete observation with the input forced to
+ * the given polarity (true = the state that should read slow) and
+ * returns the attacker-visible duration in nanoseconds. fatal()s in
+ * @p who 's name if the states are not separable (no magnifier signal).
+ */
+Calibration
+calibrateThreshold(const std::function<double(bool slow)> &observe_ns,
+                   const std::string &who);
+
+/**
+ * Same two-point calibration but tolerating inseparable states: the
+ * threshold is still the midpoint and `separable` reports the failure.
+ * Used by sources (e.g. a bare coarse clock) whose whole point is that
+ * calibration *can* fail.
+ */
+Calibration
+calibrateThresholdLenient(const std::function<double(bool slow)> &observe_ns);
+
+} // namespace hr
+
+#endif // HR_TIMER_CALIBRATION_HH

@@ -1,0 +1,87 @@
+#include "util/params.hh"
+
+#include <cstdlib>
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+void
+ParamSet::set(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+void
+ParamSet::setFromArg(const std::string &arg)
+{
+    const auto eq = arg.find('=');
+    fatalIf(eq == std::string::npos || eq == 0,
+            "parameter must be key=value, got '" + arg + "'");
+    set(arg.substr(0, eq), arg.substr(eq + 1));
+}
+
+bool
+ParamSet::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+std::string
+ParamSet::get(const std::string &key, const std::string &def) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? def : it->second;
+}
+
+long long
+ParamSet::getInt(const std::string &key, long long def) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "parameter " + key + ": '" + it->second + "' is not an integer");
+    return v;
+}
+
+double
+ParamSet::getDouble(const std::string &key, double def) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "parameter " + key + ": '" + it->second + "' is not a number");
+    return v;
+}
+
+bool
+ParamSet::getBool(const std::string &key, bool def) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("parameter " + key + ": '" + v + "' is not a boolean");
+}
+
+ParamSet
+ParamSet::overriddenBy(const ParamSet &other) const
+{
+    ParamSet merged = *this;
+    for (const auto &[key, value] : other.entries_)
+        merged.entries_[key] = value;
+    return merged;
+}
+
+} // namespace hr

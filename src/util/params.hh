@@ -1,0 +1,50 @@
+/**
+ * @file
+ * String-keyed parameter set with typed accessors.
+ *
+ * ParamSet is the universal "loose configuration" currency: scenario
+ * parameters (`--param key=value`), gadget construction overrides
+ * (GadgetRegistry::make), and sweep grid points all travel as one of
+ * these. Values are stored as strings and parsed on access, so every
+ * consumer documents its keys and defaults at the point of use.
+ */
+
+#ifndef HR_UTIL_PARAMS_HH
+#define HR_UTIL_PARAMS_HH
+
+#include <map>
+#include <string>
+
+namespace hr
+{
+
+/** String-keyed parameters with typed accessors. */
+class ParamSet
+{
+  public:
+    void set(const std::string &key, const std::string &value);
+
+    /** Parse "key=value" (fatal if '=' is missing). */
+    void setFromArg(const std::string &arg);
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key, const std::string &def) const;
+    long long getInt(const std::string &key, long long def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Union: entries of @p other override entries of *this. */
+    ParamSet overriddenBy(const ParamSet &other) const;
+
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace hr
+
+#endif // HR_UTIL_PARAMS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Detector::classify threshold-edge tests (paper section 8): features
+ * exactly at a threshold must stay benign (comparisons are strict),
+ * features just above must trip the matching signature, and the
+ * zero-mispredict special case must split on the backend-bound ratio.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.hh"
+
+namespace hr
+{
+namespace
+{
+
+/** Features that trip neither classifier. */
+DetectorFeatures
+benignFeatures()
+{
+    DetectorFeatures features;
+    features.l1MissesPerKiloInstr = 20.0;
+    features.backendBoundRatio = 0.3;
+    features.mispredictsPerKiloInstr = 10.0;
+    features.divIssueShare = 0.01;
+    features.ipc = 2.0;
+    return features;
+}
+
+TEST(Detector, BenignProfileStaysClean)
+{
+    const DetectorVerdict verdict =
+        Detector().classify(benignFeatures());
+    EXPECT_FALSE(verdict.suspicious);
+    EXPECT_EQ(verdict.reason, "benign profile");
+}
+
+TEST(Detector, MissRateEdge)
+{
+    Detector detector; // default threshold: 150 misses / kinstr
+    DetectorFeatures features = benignFeatures();
+
+    features.l1MissesPerKiloInstr = 150.0; // exactly at: strict >
+    EXPECT_FALSE(detector.classify(features).suspicious);
+
+    features.l1MissesPerKiloInstr = 150.0001; // just above
+    const DetectorVerdict above = detector.classify(features);
+    EXPECT_TRUE(above.suspicious);
+    EXPECT_NE(above.reason.find("miss storm"), std::string::npos);
+
+    features.l1MissesPerKiloInstr = 149.9999; // just below
+    EXPECT_FALSE(detector.classify(features).suspicious);
+}
+
+TEST(Detector, ArithmeticSignatureEdges)
+{
+    Detector detector;
+    // backend_per_mispredict = backendBoundRatio /
+    //     (mispredictsPerKiloInstr * ipc / 1e3); with mpki = 0.2 and
+    // ipc = 1.0 the denominator is 2e-4, so ratio 0.8 lands exactly on
+    // the 4000 threshold.
+    DetectorFeatures features = benignFeatures();
+    features.mispredictsPerKiloInstr = 0.2;
+    features.ipc = 1.0;
+    features.backendBoundRatio = 0.8;
+
+    features.divIssueShare = 0.10; // exactly at the share threshold
+    EXPECT_FALSE(detector.classify(features).suspicious);
+
+    features.divIssueShare = 0.11; // share above, backend exactly at
+    EXPECT_FALSE(detector.classify(features).suspicious);
+
+    features.backendBoundRatio = 0.81; // both strictly above
+    const DetectorVerdict verdict = detector.classify(features);
+    EXPECT_TRUE(verdict.suspicious);
+    EXPECT_NE(verdict.reason.find("divider"), std::string::npos);
+
+    features.divIssueShare = 0.09; // backend above, share below
+    EXPECT_FALSE(detector.classify(features).suspicious);
+}
+
+TEST(Detector, ZeroMispredictSpecialCase)
+{
+    // No mispredicts at all: the ratio degenerates to "infinite" only
+    // when the execution is meaningfully backend-bound (> 0.5).
+    Detector detector;
+    DetectorFeatures features = benignFeatures();
+    features.mispredictsPerKiloInstr = 0.0;
+    features.divIssueShare = 0.2;
+
+    features.backendBoundRatio = 0.6;
+    EXPECT_TRUE(detector.classify(features).suspicious);
+
+    features.backendBoundRatio = 0.5; // boundary is strict here too
+    EXPECT_FALSE(detector.classify(features).suspicious);
+
+    features.backendBoundRatio = 0.4;
+    EXPECT_FALSE(detector.classify(features).suspicious);
+}
+
+TEST(Detector, CustomThresholds)
+{
+    Detector::Thresholds thresholds;
+    thresholds.l1MissesPerKiloInstr = 10.0;
+    thresholds.divIssueShare = 0.5;
+    thresholds.backendPerMispredict = 1.0;
+    Detector strict(thresholds);
+
+    DetectorFeatures features = benignFeatures(); // 20 misses / kinstr
+    EXPECT_TRUE(strict.classify(features).suspicious);
+
+    features.l1MissesPerKiloInstr = 5.0;
+    EXPECT_FALSE(strict.classify(features).suspicious);
+
+    // Loosened miss threshold with a tightened arithmetic pair.
+    features.divIssueShare = 0.6;
+    features.backendBoundRatio = 0.9;
+    features.mispredictsPerKiloInstr = 0.2;
+    features.ipc = 1.0;
+    EXPECT_TRUE(strict.classify(features).suspicious);
+}
+
+} // namespace
+} // namespace hr

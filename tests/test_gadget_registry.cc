@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unified TimingSource API tests: registry round-trip over every
+ * registered gadget (construct by name on a compatible profile,
+ * calibrate, transmit one bit each way), clone() independence, the
+ * pipeline determinism contract (same configuration and seed produce
+ * identical TimingSamples), and sweep output that is byte-identical
+ * at any --jobs value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "exp/sweep.hh"
+#include "gadgets/gadget_registry.hh"
+#include "gadgets/sources.hh"
+#include "sim/profiles.hh"
+
+namespace hr
+{
+namespace
+{
+
+/** Small parameter overrides so the round-trip stays test-sized. */
+ParamSet
+quickParams(const std::string &gadget)
+{
+    ParamSet params;
+    if (gadget == "repetition")
+        params.set("rounds", "50");
+    if (gadget == "arith_magnifier")
+        params.set("stages", "1000");
+    if (gadget == "arbitrary_magnifier")
+        params.set("repeats", "40");
+    if (gadget == "hacky_pipeline" || gadget == "reorder_pipeline")
+        params.set("repeats", "2000");
+    return params;
+}
+
+/** First registered machine profile the source is compatible with. */
+std::unique_ptr<Machine>
+compatibleMachine(TimingSource &source)
+{
+    for (const MachineProfile &profile : machineProfiles()) {
+        auto machine = std::make_unique<Machine>(profile.make());
+        if (source.compatible(*machine))
+            return machine;
+    }
+    return nullptr;
+}
+
+TEST(GadgetRegistry, ListsTheWholeFamily)
+{
+    std::set<std::string> names;
+    for (const GadgetInfo *info : GadgetRegistry::instance().all()) {
+        EXPECT_FALSE(info->name.empty());
+        EXPECT_FALSE(info->description.empty());
+        EXPECT_TRUE(info->factory != nullptr);
+        names.insert(info->name);
+    }
+    // All eight gadget classes plus the coarse timer, by stable name.
+    for (const char *required :
+         {"pa_race", "reorder_race", "plru_pa_magnifier",
+          "plru_reorder_magnifier", "plru_pin_magnifier",
+          "arbitrary_magnifier", "arith_magnifier", "repetition",
+          "hacky_timer", "coarse_timer", "hacky_pipeline",
+          "reorder_pipeline"}) {
+        EXPECT_TRUE(names.count(required)) << required;
+    }
+}
+
+TEST(GadgetRegistry, ResolvesPrefixesAndRejectsUnknowns)
+{
+    EXPECT_EQ(GadgetRegistry::instance().resolve("arith").name,
+              "arith_magnifier");
+    EXPECT_EQ(GadgetRegistry::instance().resolve("pa_race").name,
+              "pa_race");
+    EXPECT_THROW(GadgetRegistry::instance().resolve("plru"),
+                 std::runtime_error); // ambiguous
+    EXPECT_THROW(GadgetRegistry::instance().resolve("nonsense"),
+                 std::runtime_error);
+}
+
+TEST(GadgetRegistry, RoundTripEveryGadget)
+{
+    // Every registered source must construct by name, find at least
+    // one compatible stock profile, calibrate, and transmit one bit
+    // each way with the uniform polarity convention (secret == true
+    // reads slow). The bare coarse clock is exempt from the decoding
+    // check: failing to decode is its documented role.
+    for (const GadgetInfo *info : GadgetRegistry::instance().all()) {
+        SCOPED_TRACE(info->name);
+        auto source = GadgetRegistry::instance().make(
+            info->name, quickParams(info->name));
+        ASSERT_TRUE(source != nullptr);
+        EXPECT_EQ(source->name(), info->name);
+        EXPECT_FALSE(source->describe().empty());
+
+        auto machine = compatibleMachine(*source);
+        ASSERT_TRUE(machine != nullptr)
+            << "no stock profile runs " << info->name;
+
+        source->calibrate(*machine);
+        const TimingSample fast = source->sample(*machine, false);
+        const TimingSample slow = source->sample(*machine, true);
+        EXPECT_GT(slow.cycles, fast.cycles);
+        if (info->name != "coarse_timer") {
+            EXPECT_FALSE(fast.bit);
+            EXPECT_TRUE(slow.bit);
+        }
+    }
+}
+
+TEST(GadgetRegistry, MakeAppliesParameters)
+{
+    Machine machine(machineConfigForProfile("plru"));
+    ParamSet small, large;
+    small.set("repeats", "100");
+    large.set("repeats", "1000");
+    auto short_mag =
+        GadgetRegistry::instance().make("plru_pa_magnifier", small);
+    auto long_mag =
+        GadgetRegistry::instance().make("plru_pa_magnifier", large);
+    const Cycle short_cycles =
+        short_mag->sample(machine, true).cycles;
+    const Cycle long_cycles = long_mag->sample(machine, true).cycles;
+    EXPECT_GT(long_cycles, 5 * short_cycles);
+}
+
+TEST(TimingSource, CloneIsIndependent)
+{
+    // A clone carries the configuration but no machine binding or
+    // calibration: used on its own machine it reproduces exactly what
+    // a fresh instance produces, and using it does not disturb the
+    // original.
+    ParamSet params;
+    params.set("repeats", "300");
+    auto original =
+        GadgetRegistry::instance().make("plru_pa_magnifier", params);
+
+    Machine machine_a(machineConfigForProfile("plru"));
+    original->calibrate(machine_a);
+    const TimingSample before = original->sample(machine_a, true);
+
+    auto clone = original->clone();
+    EXPECT_EQ(clone->name(), original->name());
+    Machine machine_b(machineConfigForProfile("plru"));
+    clone->calibrate(machine_b);
+    const TimingSample clone_sample = clone->sample(machine_b, true);
+
+    // Same configuration, fresh identical machine: identical result.
+    Machine machine_c(machineConfigForProfile("plru"));
+    auto fresh =
+        GadgetRegistry::instance().make("plru_pa_magnifier", params);
+    fresh->calibrate(machine_c);
+    const TimingSample fresh_sample = fresh->sample(machine_c, true);
+    EXPECT_EQ(clone_sample.cycles, fresh_sample.cycles);
+    EXPECT_EQ(clone_sample.bit, fresh_sample.bit);
+
+    // The original still works and still reads the same machine.
+    const TimingSample after = original->sample(machine_a, true);
+    EXPECT_EQ(before.cycles, after.cycles);
+
+    // Clones of every registered gadget construct and self-describe.
+    for (const GadgetInfo *info : GadgetRegistry::instance().all()) {
+        auto source = GadgetRegistry::instance().make(info->name);
+        auto copy = source->clone();
+        EXPECT_EQ(copy->name(), source->name()) << info->name;
+    }
+}
+
+TEST(Pipeline, DeterministicTraces)
+{
+    // Same stages, same parameters, same machine configuration: the
+    // full trace (quantized ns, raw cycles, decoded bits) must be
+    // identical run over run.
+    const std::vector<bool> secrets = {false, true, true, false, true};
+    auto run_trace = [&] {
+        Machine machine(machineConfigForProfile("plru"));
+        auto pipeline =
+            GadgetRegistry::instance().make("hacky_pipeline", {});
+        pipeline->calibrate(machine);
+        return pipeline->trace(machine, secrets);
+    };
+    const Trace first = run_trace();
+    const Trace second = run_trace();
+    ASSERT_EQ(first.size(), secrets.size());
+    ASSERT_EQ(second.size(), secrets.size());
+    for (std::size_t i = 0; i < secrets.size(); ++i) {
+        EXPECT_EQ(first[i].cycles, second[i].cycles) << i;
+        EXPECT_DOUBLE_EQ(first[i].ns, second[i].ns) << i;
+        EXPECT_EQ(first[i].bit, second[i].bit) << i;
+        EXPECT_EQ(first[i].bit, secrets[i]) << i;
+    }
+}
+
+TEST(Pipeline, HandBuiltCompositionMatchesRegistry)
+{
+    // Pipeline::then() composes the same stack the registry ships.
+    Machine machine(machineConfigForProfile("plru"));
+    Pipeline custom("custom");
+    custom.then(GadgetRegistry::instance().make("pa_race"))
+        .then(GadgetRegistry::instance().make("plru_pa_magnifier"));
+    ParamSet params;
+    params.set("repeats", "2000");
+    custom.configure(params);
+    EXPECT_TRUE(custom.compatible(machine));
+    custom.calibrate(machine);
+    EXPECT_FALSE(custom.sample(machine, false).bit);
+    EXPECT_TRUE(custom.sample(machine, true).bit);
+}
+
+TEST(Sweep, ByteIdenticalAcrossJobs)
+{
+    auto render = [](int jobs) {
+        SweepOptions options;
+        options.gadget = "arith_magnifier";
+        options.profile = "default";
+        options.trials = 1;
+        options.jobs = jobs;
+        options.grid.push_back(parseSweepAxis("stages=400,800"));
+        options.grid.push_back(parseSweepAxis("par_divs=2:4"));
+        return runSweep(options).render(Format::Json);
+    };
+    const std::string lone = render(1);
+    EXPECT_EQ(lone, render(3));
+    EXPECT_NE(lone.find("\"stages\""), std::string::npos);
+}
+
+TEST(Sweep, GridSyntaxAndIncompatibleRows)
+{
+    const SweepAxis list = parseSweepAxis("key=a,b,c");
+    EXPECT_EQ(list.key, "key");
+    EXPECT_EQ(list.values,
+              (std::vector<std::string>{"a", "b", "c"}));
+    const SweepAxis range = parseSweepAxis("n=2:8:3");
+    EXPECT_EQ(range.values, (std::vector<std::string>{"2", "5", "8"}));
+    EXPECT_THROW(parseSweepAxis("novalue"), std::runtime_error);
+    EXPECT_THROW(parseSweepAxis("k=5:1"), std::runtime_error);
+
+    // A gadget/profile mismatch degrades to a status row, not a crash.
+    SweepOptions options;
+    options.gadget = "plru_pa_magnifier";
+    options.profile = "random_l1";
+    options.trials = 1;
+    const std::string rendered =
+        runSweep(options).render(Format::Csv);
+    EXPECT_NE(rendered.find("incompatible"), std::string::npos);
+}
+
+} // namespace
+} // namespace hr
