@@ -1,5 +1,6 @@
 /** Fig. 8 scenario: racing-gadget granularity, ADD reference path. */
 
+#include "exp/machine_pool.hh"
 #include "exp/registry.hh"
 #include "gadgets/gadget_registry.hh"
 #include "isa/instruction.hh"
@@ -14,12 +15,16 @@ namespace
 /**
  * One racing-gadget observation through the registry: does a chain of
  * @p target_ops ops outlast a reference path of @p ref_ops ops?
+ * Machines come from the pool (restored to the pristine base state per
+ * observation) instead of being rebuilt, which is what makes this
+ * scenario's many single-shot trials cheap.
  */
 bool
-exprOutlastsBaseline(const MachineConfig &mc, Opcode target_op,
+exprOutlastsBaseline(MachinePool &pool, Opcode target_op,
                      int target_ops, Opcode ref_op, int ref_ops)
 {
-    Machine machine(mc);
+    auto lease = pool.lease();
+    Machine &machine = lease.machine();
     ParamSet params;
     params.set("op", opcodeName(target_op));
     params.set("slow_ops", std::to_string(target_ops));
@@ -37,13 +42,13 @@ exprOutlastsBaseline(const MachineConfig &mc, Opcode target_op,
  * longest fitting baseline loses (ROB cap).
  */
 int
-thresholdRefOps(const MachineConfig &mc, Opcode target_op, int target_ops,
+thresholdRefOps(MachinePool &pool, Opcode target_op, int target_ops,
                 Opcode ref_op, int max_ref)
 {
     int lo = 1, hi = max_ref, found = -1;
     while (lo <= hi) {
         const int mid = (lo + hi) / 2;
-        if (!exprOutlastsBaseline(mc, target_op, target_ops, ref_op,
+        if (!exprOutlastsBaseline(pool, target_op, target_ops, ref_op,
                                   mid)) {
             found = mid; // baseline long enough to lose the race
             hi = mid - 1;
@@ -80,7 +85,7 @@ class Fig08GranularityAdd : public Scenario
     ResultTable
     run(ScenarioContext &ctx) override
     {
-        const MachineConfig mc = ctx.machineConfig();
+        MachinePool pool(ctx.machineConfig());
         const int max_n = ctx.quick() ? 6 : 40;
 
         std::vector<int> targets;
@@ -95,12 +100,12 @@ class Fig08GranularityAdd : public Scenario
             static_cast<int>(targets.size()), [&](int i, Rng &) {
                 const int n = targets[static_cast<std::size_t>(i)];
                 Point p;
-                p.add_thr =
-                    thresholdRefOps(mc, Opcode::Add, n, Opcode::Add, 60);
-                p.mul_thr =
-                    thresholdRefOps(mc, Opcode::Mul, n, Opcode::Add, 60);
-                p.lea_thr =
-                    thresholdRefOps(mc, Opcode::Lea, n, Opcode::Add, 60);
+                p.add_thr = thresholdRefOps(pool, Opcode::Add, n,
+                                            Opcode::Add, 60);
+                p.mul_thr = thresholdRefOps(pool, Opcode::Mul, n,
+                                            Opcode::Add, 60);
+                p.lea_thr = thresholdRefOps(pool, Opcode::Lea, n,
+                                            Opcode::Add, 60);
                 return p;
             });
 
@@ -131,7 +136,7 @@ class Fig08GranularityAdd : public Scenario
             // once the baseline no longer fits the transient window.
             const std::vector<char> lost = ctx.parallelMap(
                 31, [&](int i, Rng &) -> char {
-                    return exprOutlastsBaseline(mc, Opcode::Add, 500,
+                    return exprOutlastsBaseline(pool, Opcode::Add, 500,
                                                 Opcode::Add, 40 + i)
                                ? 0
                                : 1;

@@ -1,5 +1,6 @@
 /** Fig. 9 scenario: racing-gadget granularity, MUL reference path. */
 
+#include "exp/machine_pool.hh"
 #include "exp/registry.hh"
 #include "gadgets/gadget_registry.hh"
 #include "isa/instruction.hh"
@@ -12,13 +13,14 @@ namespace
 {
 
 int
-thresholdMulRefOps(const MachineConfig &mc, Opcode target_op,
+thresholdMulRefOps(MachinePool &pool, Opcode target_op,
                    int target_ops)
 {
     int lo = 1, hi = 60, found = -1;
     while (lo <= hi) {
         const int mid = (lo + hi) / 2;
-        Machine machine(mc);
+        auto lease = pool.lease();
+        Machine &machine = lease.machine();
         ParamSet params;
         params.set("op", opcodeName(target_op));
         params.set("slow_ops", std::to_string(target_ops));
@@ -62,7 +64,7 @@ class Fig09GranularityMul : public Scenario
     ResultTable
     run(ScenarioContext &ctx) override
     {
-        const MachineConfig mc = ctx.machineConfig();
+        MachinePool pool(ctx.machineConfig());
         const int max_n = ctx.quick() ? 24 : 144;
 
         std::vector<int> targets;
@@ -77,9 +79,9 @@ class Fig09GranularityMul : public Scenario
             static_cast<int>(targets.size()), [&](int i, Rng &) {
                 const int n = targets[static_cast<std::size_t>(i)];
                 Point p;
-                p.add_thr = thresholdMulRefOps(mc, Opcode::Add, n);
+                p.add_thr = thresholdMulRefOps(pool, Opcode::Add, n);
                 if (n <= 40)
-                    p.div_thr = thresholdMulRefOps(mc, Opcode::Div, n);
+                    p.div_thr = thresholdMulRefOps(pool, Opcode::Div, n);
                 return p;
             });
 

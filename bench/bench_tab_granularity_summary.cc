@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exp/machine_pool.hh"
 #include "exp/registry.hh"
 #include "gadgets/racing.hh"
 #include "util/table.hh"
@@ -12,13 +13,14 @@ namespace
 {
 
 int
-thresholdRefOps(const MachineConfig &mc, Opcode target_op, int target_ops,
+thresholdRefOps(MachinePool &pool, Opcode target_op, int target_ops,
                 Opcode ref_op)
 {
     int lo = 1, hi = 60, found = -1;
     while (lo <= hi) {
         const int mid = (lo + hi) / 2;
-        Machine machine(mc);
+        auto lease = pool.lease();
+        Machine &machine = lease.machine();
         TransientPaRaceConfig config;
         config.refOp = ref_op;
         config.refOps = mid;
@@ -82,7 +84,7 @@ class TabGranularitySummary : public Scenario
     ResultTable
     run(ScenarioContext &ctx) override
     {
-        const MachineConfig mc = ctx.machineConfig();
+        MachinePool pool(ctx.machineConfig());
 
         struct Case
         {
@@ -112,7 +114,7 @@ class TabGranularitySummary : public Scenario
             static_cast<int>(units.size()), [&](int i, Rng &) {
                 const auto &[c, n] = units[static_cast<std::size_t>(i)];
                 const Case &cs = cases[static_cast<std::size_t>(c)];
-                return thresholdRefOps(mc, cs.target, n, cs.ref);
+                return thresholdRefOps(pool, cs.target, n, cs.ref);
             });
 
         Table table({"target op", "ref op", "granularity (target ops)",

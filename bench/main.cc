@@ -12,6 +12,8 @@
  *   hr_bench sweep --gadget=NAME [--profile=NAME] [--grid key=v1,v2]...
  *                  [--trials=N] [--jobs=N] [--seed=S] [--format=F]
  *                  [--param key=value]
+ *   hr_bench perf [--quick] [--suite=NAME]... [--out=FILE]
+ *                 [--baseline=FILE] [--tolerance=T] [--seed=S]
  *
  * Scenario names resolve by exact match or unique prefix (`run fig04`),
  * and gadget names likewise (`sweep --gadget=arith`). Exit status is 0
@@ -24,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/perf.hh"
 #include "exp/registry.hh"
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
@@ -51,6 +54,8 @@ usage()
         "prefix)\n"
         "  run --all            run every registered scenario\n"
         "  sweep --gadget=NAME  sweep a gadget over a parameter grid\n"
+        "  perf                 self-profile the simulator, write "
+        "BENCH_hr_perf.json\n"
         "\n"
         "run options:\n"
         "  --trials=N           override the scenario's sample count\n"
@@ -69,7 +74,17 @@ usage()
         "(repeatable, cartesian)\n"
         "  --trials=N           samples per polarity per grid point "
         "(default 4)\n"
-        "  --param key=value    fixed gadget parameter (repeatable)\n");
+        "  --param key=value    fixed gadget parameter (repeatable)\n"
+        "\n"
+        "perf options:\n"
+        "  --quick              CI-sized measurement budgets\n"
+        "  --suite=NAME         run only this suite (repeatable)\n"
+        "  --out=FILE           output path (default "
+        "BENCH_hr_perf.json)\n"
+        "  --baseline=FILE      compare against a committed baseline; "
+        "exit 1 on regression\n"
+        "  --tolerance=T        allowed regression fraction "
+        "(default 0.25)\n");
 }
 
 /** Parsed command line. */
@@ -81,6 +96,11 @@ struct Cli
     std::string gadget;
     std::vector<std::string> grid_args;
     bool trials_given = false;
+    bool quick = false;
+    std::vector<std::string> suites;
+    std::string out = "BENCH_hr_perf.json";
+    std::string baseline;
+    double tolerance = 0.25;
     std::vector<std::string> seen; ///< flag names given, for rejectStray
 
     static Cli
@@ -114,6 +134,26 @@ struct Cli
             if (arg == "--all") {
                 cli.run_all = true;
                 cli.seen.push_back("all");
+            } else if (arg == "--quick") {
+                cli.quick = true;
+                cli.seen.push_back("quick");
+            } else if (matches("suite")) {
+                cli.suites.push_back(value("suite"));
+                cli.seen.push_back("suite");
+            } else if (matches("out")) {
+                cli.out = value("out");
+                cli.seen.push_back("out");
+            } else if (matches("baseline")) {
+                cli.baseline = value("baseline");
+                cli.seen.push_back("baseline");
+            } else if (matches("tolerance")) {
+                const std::string text = value("tolerance");
+                try {
+                    cli.tolerance = std::stod(text);
+                } catch (const std::exception &) {
+                    fatal("--tolerance: '" + text + "' is not a number");
+                }
+                cli.seen.push_back("tolerance");
             } else if (matches("trials")) {
                 cli.options.trials = static_cast<int>(integer("trials"));
                 cli.trials_given = true;
@@ -208,6 +248,9 @@ rejectStray(const Cli &cli, const std::string &command)
         allowed.insert(allowed.end(), {"gadget", "grid", "trials",
                                        "jobs", "seed", "profile",
                                        "param"});
+    } else if (command == "perf") {
+        allowed.insert(allowed.end(), {"quick", "suite", "out",
+                                       "baseline", "tolerance", "seed"});
     }
     for (const std::string &flag : cli.seen) {
         bool ok = false;
@@ -262,6 +305,65 @@ cmdSweep(const Cli &cli)
     ResultTable result = runSweep(options);
     std::fputs(result.render(cli.options.format).c_str(), stdout);
     return result.passed() ? 0 : 1;
+}
+
+int
+cmdPerf(const Cli &cli)
+{
+    PerfOptions options;
+    options.quick = cli.quick;
+    options.seed = cli.options.seed;
+    options.only = cli.suites;
+    if (cli.options.format == Format::Table)
+        options.progress = [](const std::string &text) {
+            std::fprintf(stderr, "  .. %s\n", text.c_str());
+        };
+
+    const std::vector<PerfSuite> suites = runPerfSuites(options);
+    fatalIf(suites.empty(), "perf: no suites selected");
+
+    Table table({"suite", "value", "unit", "wall (s)", "iters"});
+    for (const PerfSuite &suite : suites)
+        table.addRow({suite.name, Table::num(suite.value, 1),
+                      suite.unit, Table::num(suite.wallSeconds, 3),
+                      Table::integer(suite.iterations)});
+    if (cli.options.format == Format::Table)
+        table.print();
+    else
+        std::fputs((cli.options.format == Format::Json
+                        ? table.renderJson()
+                        : table.renderCsv())
+                       .c_str(),
+                   stdout);
+
+    const std::string json =
+        renderPerfJson(suites, cli.quick);
+    std::FILE *file = std::fopen(cli.out.c_str(), "w");
+    fatalIf(file == nullptr, "perf: cannot write '" + cli.out + "'");
+    std::fputs(json.c_str(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "[perf trajectory written to %s]\n",
+                 cli.out.c_str());
+
+    if (cli.baseline.empty())
+        return 0;
+
+    std::FILE *base_file = std::fopen(cli.baseline.c_str(), "r");
+    fatalIf(base_file == nullptr,
+            "perf: cannot read baseline '" + cli.baseline + "'");
+    std::string base_json;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), base_file)) > 0)
+        base_json.append(buf, got);
+    std::fclose(base_file);
+
+    // The report is diagnostics, not part of the formatted result:
+    // keep stdout valid JSON/CSV under --format by using stderr.
+    const PerfComparison comparison = comparePerf(
+        suites, parsePerfBaseline(base_json), cli.tolerance);
+    std::fputs(comparison.report.c_str(), stderr);
+    return comparison.passed ? 0 : 1;
 }
 
 int
@@ -323,6 +425,8 @@ main(int argc, char **argv)
             return cmdGadgets(cli);
         if (command == "sweep")
             return cmdSweep(cli);
+        if (command == "perf")
+            return cmdPerf(cli);
         if (command == "run")
             return cmdRun(cli);
         if (command == "help" || command == "--help" || command == "-h") {

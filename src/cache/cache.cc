@@ -1,9 +1,33 @@
 #include "cache/cache.hh"
 
+#include <atomic>
+
 #include "util/log.hh"
 
 namespace hr
 {
+
+namespace
+{
+
+int
+log2Exact(int v)
+{
+    int s = 0;
+    while ((1 << s) < v)
+        ++s;
+    return s;
+}
+
+/** Process-unique id tying a snapshot to the dirty-tracking epoch. */
+std::uint64_t
+nextSyncId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
 
 Cache::Cache(const CacheConfig &config) : config_(config)
 {
@@ -14,6 +38,12 @@ Cache::Cache(const CacheConfig &config) : config_(config)
             (config_.lineBytes & (config_.lineBytes - 1)) != 0,
             config_.name + ": lineBytes must be a positive power of two");
     fatalIf(config_.assoc <= 0, config_.name + ": assoc must be positive");
+
+    lineShift_ = log2Exact(config_.lineBytes);
+    setShift_ = log2Exact(config_.numSets);
+    tagShift_ = lineShift_ + setShift_;
+    lineMask_ = static_cast<Addr>(config_.lineBytes - 1);
+    setMask_ = static_cast<Addr>(config_.numSets - 1);
 
     lines_.resize(static_cast<std::size_t>(config_.numSets) *
                   static_cast<std::size_t>(config_.assoc));
@@ -42,58 +72,33 @@ Cache::lineAt(int set, int way) const
 }
 
 int
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<int>(
-        (addr / static_cast<Addr>(config_.lineBytes)) %
-        static_cast<Addr>(config_.numSets));
-}
-
-Addr
-Cache::lineAddr(Addr addr) const
-{
-    return addr & ~static_cast<Addr>(config_.lineBytes - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr / static_cast<Addr>(config_.lineBytes) /
-           static_cast<Addr>(config_.numSets);
-}
-
-Addr
-Cache::rebuild(Addr tag, int set) const
-{
-    return (tag * static_cast<Addr>(config_.numSets) +
-            static_cast<Addr>(set)) *
-           static_cast<Addr>(config_.lineBytes);
-}
-
-int
 Cache::probe(Addr addr) const
 {
     const int set = setIndex(addr);
     const Addr tag = tagOf(addr);
+    const Line *row = &lineAt(set, 0);
     for (int w = 0; w < config_.assoc; ++w) {
-        const Line &line = lineAt(set, w);
-        if (line.valid && line.tag == tag)
+        if (row[w].valid && row[w].tag == tag)
             return w;
     }
     return -1;
 }
 
-bool
-Cache::access(Addr addr)
+int
+Cache::accessWay(Addr addr)
 {
-    const int way = probe(addr);
-    if (way >= 0) {
-        ++stats_.hits;
-        policy_[static_cast<std::size_t>(setIndex(addr))]->touch(way);
-        return true;
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *row = &lineAt(set, 0);
+    for (int w = 0; w < config_.assoc; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            ++stats_.hits;
+            policy_[static_cast<std::size_t>(set)]->touch(w);
+            markDirty(set);
+            return w;
+        }
     }
-    ++stats_.misses;
-    return false;
+    return -1;
 }
 
 std::optional<Addr>
@@ -102,31 +107,34 @@ Cache::fill(Addr addr)
     const int set = setIndex(addr);
     const Addr tag = tagOf(addr);
     auto &pol = *policy_[static_cast<std::size_t>(set)];
+    markDirty(set);
 
-    // Already present (e.g. a racing fill was merged): just touch.
+    // One walk finds both an existing copy (e.g. a racing fill was
+    // merged: just touch) and the first invalid way.
+    Line *row = &lineAt(set, 0);
+    int free_way = -1;
     for (int w = 0; w < config_.assoc; ++w) {
-        Line &line = lineAt(set, w);
-        if (line.valid && line.tag == tag) {
-            pol.touch(w);
-            return std::nullopt;
+        if (row[w].valid) {
+            if (row[w].tag == tag) {
+                pol.touch(w);
+                return std::nullopt;
+            }
+        } else if (free_way < 0) {
+            free_way = w;
         }
     }
 
     ++stats_.fills;
 
-    // Prefer an invalid way.
-    for (int w = 0; w < config_.assoc; ++w) {
-        Line &line = lineAt(set, w);
-        if (!line.valid) {
-            line.valid = true;
-            line.tag = tag;
-            pol.touch(w);
-            return std::nullopt;
-        }
+    if (free_way >= 0) {
+        row[free_way].valid = true;
+        row[free_way].tag = tag;
+        pol.touch(free_way);
+        return std::nullopt;
     }
 
     const int victim = pol.victim();
-    Line &line = lineAt(set, victim);
+    Line &line = row[victim];
     panicIf(!line.valid, "fill: victim way invalid");
     const Addr evicted = rebuild(line.tag, set);
     line.tag = tag;
@@ -140,11 +148,12 @@ Cache::invalidate(Addr addr)
 {
     const int set = setIndex(addr);
     const Addr tag = tagOf(addr);
+    Line *row = &lineAt(set, 0);
     for (int w = 0; w < config_.assoc; ++w) {
-        Line &line = lineAt(set, w);
-        if (line.valid && line.tag == tag) {
-            line.valid = false;
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].valid = false;
             policy_[static_cast<std::size_t>(set)]->invalidate(w);
+            markDirty(set);
             return true;
         }
     }
@@ -161,6 +170,85 @@ Cache::flushAll()
             makePolicy(config_.policy, config_.assoc,
                        config_.rngSeed + static_cast<std::uint64_t>(s));
     }
+    // Every set changed; force the next restore onto the full path.
+    allDirty_ = true;
+    dirtySets_.clear();
+}
+
+void
+Cache::resetDirtyTracking(std::uint64_t sync_id)
+{
+    syncBase_ = sync_id;
+    allDirty_ = false;
+    dirtyMask_.assign(static_cast<std::size_t>(config_.numSets), 0);
+    dirtySets_.clear();
+}
+
+Cache::Snapshot
+Cache::snapshot()
+{
+    Snapshot snap;
+    snap.syncId = nextSyncId();
+    snap.stats = stats_;
+    snap.lines = lines_;
+    snap.policy.reserve(policy_.size());
+    for (const auto &pol : policy_)
+        snap.policy.push_back(pol->clone());
+    resetDirtyTracking(snap.syncId);
+    return snap;
+}
+
+void
+Cache::copySetFrom(const Snapshot &snap, int set)
+{
+    const std::size_t assoc = static_cast<std::size_t>(config_.assoc);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc;
+    for (std::size_t w = 0; w < assoc; ++w)
+        lines_[base + w] = snap.lines[base + w];
+    policy_[static_cast<std::size_t>(set)]->copyFrom(
+        *snap.policy[static_cast<std::size_t>(set)]);
+}
+
+void
+Cache::restore(const Snapshot &snap)
+{
+    panicIf(snap.lines.size() != lines_.size() ||
+            snap.policy.size() != policy_.size(),
+            config_.name + ": restore from mismatched snapshot");
+    stats_ = snap.stats;
+
+    if (snap.syncId != 0 && snap.syncId == syncBase_ && !allDirty_) {
+        // Fast path: only the sets touched since this snapshot was
+        // taken (or last restored) can differ.
+        for (int set : dirtySets_) {
+            dirtyMask_[static_cast<std::size_t>(set)] = 0;
+            copySetFrom(snap, set);
+        }
+        dirtySets_.clear();
+        return;
+    }
+
+    lines_ = snap.lines;
+    for (std::size_t s = 0; s < policy_.size(); ++s)
+        policy_[s]->copyFrom(*snap.policy[s]);
+    resetDirtyTracking(snap.syncId);
+}
+
+bool
+Cache::reseedPolicies(std::uint64_t seed)
+{
+    config_.rngSeed = seed;
+    bool changed = false;
+    for (int s = 0; s < config_.numSets; ++s) {
+        changed |= policy_[static_cast<std::size_t>(s)]->reseed(
+            seed + static_cast<std::uint64_t>(s));
+    }
+    if (changed) {
+        // Reseeded streams diverge from any snapshot's streams.
+        allDirty_ = true;
+        dirtySets_.clear();
+    }
+    return changed;
 }
 
 std::vector<Addr>

@@ -24,8 +24,9 @@ Hierarchy::access(Addr addr, Cycle now, AccessKind kind)
     const Addr line = l1_.lineAddr(addr);
     AccessOutcome out;
 
-    if (l1_.probe(line) >= 0) {
-        l1_.access(line); // counts the hit, updates replacement state
+    // Single L1 walk: a hit counts and touches; a miss defers its
+    // stats until we know the access is accepted (noteMiss below).
+    if (l1_.accessWay(line) >= 0) {
         out.readyCycle = now + config_.l1Latency;
         out.level = 1;
         return out;
@@ -34,7 +35,7 @@ Hierarchy::access(Addr addr, Cycle now, AccessKind kind)
     // Coalesce with an in-flight request for the same line.
     auto it = inflight_.find(line);
     if (it != inflight_.end()) {
-        l1_.access(line); // counts the demand miss
+        l1_.noteMiss(); // counts the demand miss
         out.readyCycle = std::max(it->second.ready,
                                   now + config_.l1Latency);
         out.level = it->second.level;
@@ -48,7 +49,7 @@ Hierarchy::access(Addr addr, Cycle now, AccessKind kind)
         out.accepted = false;
         return out;
     }
-    l1_.access(line); // counts the demand miss
+    l1_.noteMiss(); // counts the demand miss
 
     Cycle ready;
     int level;
@@ -186,6 +187,48 @@ Hierarchy::clearStats()
     l2_.clearStats();
     l3_.clearStats();
     memAccesses_ = 0;
+}
+
+Hierarchy::Snapshot
+Hierarchy::snapshot()
+{
+    Snapshot snap;
+    snap.l1 = l1_.snapshot();
+    snap.l2 = l2_.snapshot();
+    snap.l3 = l3_.snapshot();
+    snap.rng = rng_;
+    snap.memAccesses = memAccesses_;
+    snap.nextSeq = nextSeq_;
+    snap.inflight = inflight_;
+    snap.fillQueue = fillQueue_;
+    return snap;
+}
+
+void
+Hierarchy::restore(const Snapshot &snap)
+{
+    l1_.restore(snap.l1);
+    l2_.restore(snap.l2);
+    l3_.restore(snap.l3);
+    rng_ = snap.rng;
+    memAccesses_ = snap.memAccesses;
+    nextSeq_ = snap.nextSeq;
+    inflight_ = snap.inflight;
+    fillQueue_ = snap.fillQueue;
+}
+
+void
+Hierarchy::reseed(std::uint64_t mem_seed, std::uint64_t l1_seed,
+                  std::uint64_t l2_seed, std::uint64_t l3_seed)
+{
+    config_.rngSeed = mem_seed;
+    config_.l1.rngSeed = l1_seed;
+    config_.l2.rngSeed = l2_seed;
+    config_.l3.rngSeed = l3_seed;
+    rng_ = Rng(mem_seed);
+    l1_.reseedPolicies(l1_seed);
+    l2_.reseedPolicies(l2_seed);
+    l3_.reseedPolicies(l3_seed);
 }
 
 } // namespace hr

@@ -66,8 +66,51 @@ struct AccessOutcome
  */
 class Hierarchy
 {
+  private:
+    struct Inflight
+    {
+        Cycle ready;
+        std::uint64_t seq;
+        Addr line;
+        int level; ///< where the data was found
+    };
+
+    struct FillOrder
+    {
+        bool
+        operator()(const Inflight &a, const Inflight &b) const
+        {
+            if (a.ready != b.ready)
+                return a.ready > b.ready;
+            return a.seq > b.seq;
+        }
+    };
+
   public:
     explicit Hierarchy(const HierarchyConfig &config);
+
+    /**
+     * Deep copy of all memory-side state: per-level tag arrays and
+     * replacement state, jitter stream, counters, and in-flight
+     * requests (so pending fills replay identically). Move-only.
+     */
+    class Snapshot
+    {
+      public:
+        Snapshot() = default;
+        Snapshot(Snapshot &&) = default;
+        Snapshot &operator=(Snapshot &&) = default;
+
+      private:
+        friend class Hierarchy;
+        Cache::Snapshot l1, l2, l3;
+        Rng rng;
+        std::uint64_t memAccesses = 0;
+        std::uint64_t nextSeq = 0;
+        std::map<Addr, Inflight> inflight;
+        std::priority_queue<Inflight, std::vector<Inflight>, FillOrder>
+            fillQueue;
+    };
 
     const HierarchyConfig &config() const { return config_; }
 
@@ -121,26 +164,21 @@ class Hierarchy
     /** Clear all per-level stats counters. */
     void clearStats();
 
+    /** Capture the full memory-side state (see Machine::snapshot). */
+    Snapshot snapshot();
+
+    /** Reset to a snapshotted state (geometry must match; reusable). */
+    void restore(const Snapshot &snap);
+
+    /**
+     * Re-seed the latency-jitter stream and per-level replacement
+     * randomness as if the hierarchy had been freshly built with these
+     * seeds (sweep grid points reuse one pooled machine this way).
+     */
+    void reseed(std::uint64_t mem_seed, std::uint64_t l1_seed,
+                std::uint64_t l2_seed, std::uint64_t l3_seed);
+
   private:
-    struct Inflight
-    {
-        Cycle ready;
-        std::uint64_t seq;
-        Addr line;
-        int level; ///< where the data was found
-    };
-
-    struct FillOrder
-    {
-        bool
-        operator()(const Inflight &a, const Inflight &b) const
-        {
-            if (a.ready != b.ready)
-                return a.ready > b.ready;
-            return a.seq > b.seq;
-        }
-    };
-
     HierarchyConfig config_;
     Cache l1_, l2_, l3_;
     Rng rng_;

@@ -36,6 +36,23 @@ policyKindName(PolicyKind kind)
     panic("policyKindName: bad kind");
 }
 
+
+namespace
+{
+
+/** Downcast for copyFrom, panicking on type/associativity mismatch. */
+template <typename T>
+const T &
+sameKind(const ReplacementPolicy &self, const ReplacementPolicy &other)
+{
+    const T *o = dynamic_cast<const T *>(&other);
+    panicIf(o == nullptr || o->assoc() != self.assoc(),
+            "ReplacementPolicy::copyFrom: type/assoc mismatch");
+    return *o;
+}
+
+} // namespace
+
 // ---------------------------------------------------------------- PLRU
 
 TreePlruPolicy::TreePlruPolicy(int assoc)
@@ -121,6 +138,12 @@ TreePlruPolicy::clone() const
 }
 
 void
+TreePlruPolicy::copyFrom(const ReplacementPolicy &other)
+{
+    bits_ = sameKind<TreePlruPolicy>(*this, other).bits_;
+}
+
+void
 TreePlruPolicy::setBits(const std::vector<std::uint8_t> &bits)
 {
     panicIf(bits.size() != bits_.size(), "setBits: size mismatch");
@@ -171,6 +194,14 @@ LruPolicy::clone() const
     return std::make_unique<LruPolicy>(*this);
 }
 
+void
+LruPolicy::copyFrom(const ReplacementPolicy &other)
+{
+    const auto &o = sameKind<LruPolicy>(*this, other);
+    stamp_ = o.stamp_;
+    clock_ = o.clock_;
+}
+
 // -------------------------------------------------------------- Random
 
 RandomPolicy::RandomPolicy(int assoc, Rng rng)
@@ -206,6 +237,19 @@ std::unique_ptr<ReplacementPolicy>
 RandomPolicy::clone() const
 {
     return std::make_unique<RandomPolicy>(*this);
+}
+
+void
+RandomPolicy::copyFrom(const ReplacementPolicy &other)
+{
+    rng_ = sameKind<RandomPolicy>(*this, other).rng_;
+}
+
+bool
+RandomPolicy::reseed(std::uint64_t seed)
+{
+    rng_ = Rng(seed);
+    return true;
 }
 
 // ----------------------------------------------------------------- NRU
@@ -255,6 +299,12 @@ std::unique_ptr<ReplacementPolicy>
 NruPolicy::clone() const
 {
     return std::make_unique<NruPolicy>(*this);
+}
+
+void
+NruPolicy::copyFrom(const ReplacementPolicy &other)
+{
+    ref_ = sameKind<NruPolicy>(*this, other).ref_;
 }
 
 // --------------------------------------------------------------- SRRIP
@@ -314,6 +364,14 @@ std::unique_ptr<ReplacementPolicy>
 SrripPolicy::clone() const
 {
     return std::make_unique<SrripPolicy>(*this);
+}
+
+void
+SrripPolicy::copyFrom(const ReplacementPolicy &other)
+{
+    const auto &o = sameKind<SrripPolicy>(*this, other);
+    rrpv_ = o.rrpv_;
+    filled_ = o.filled_;
 }
 
 // ------------------------------------------------------------- factory

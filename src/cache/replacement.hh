@@ -64,6 +64,24 @@ class ReplacementPolicy
     /** Deep copy (used by search utilities exploring state spaces). */
     virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
 
+    /**
+     * Copy replacement state from another instance of the same concrete
+     * type and associativity, without allocating (the snapshot-restore
+     * fast path). panics on a type or associativity mismatch.
+     */
+    virtual void copyFrom(const ReplacementPolicy &other) = 0;
+
+    /**
+     * Re-seed internal randomness as if freshly built via
+     * makePolicy(kind, assoc, seed).
+     * @return true if the call changed any state (only Random does).
+     */
+    virtual bool reseed(std::uint64_t seed)
+    {
+        (void)seed;
+        return false;
+    }
+
   protected:
     explicit ReplacementPolicy(int assoc) : assoc_(assoc) {}
 
@@ -88,6 +106,7 @@ class TreePlruPolicy : public ReplacementPolicy
     void invalidate(int way) override;
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    void copyFrom(const ReplacementPolicy &other) override;
 
     /** Direct bit access for tests and the pin-pattern search. */
     const std::vector<std::uint8_t> &bits() const { return bits_; }
@@ -108,6 +127,7 @@ class LruPolicy : public ReplacementPolicy
     void invalidate(int way) override;
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    void copyFrom(const ReplacementPolicy &other) override;
 
   private:
     std::vector<std::uint64_t> stamp_;
@@ -125,6 +145,8 @@ class RandomPolicy : public ReplacementPolicy
     void invalidate(int way) override;
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    void copyFrom(const ReplacementPolicy &other) override;
+    bool reseed(std::uint64_t seed) override;
 
   private:
     Rng rng_;
@@ -141,6 +163,7 @@ class NruPolicy : public ReplacementPolicy
     void invalidate(int way) override;
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    void copyFrom(const ReplacementPolicy &other) override;
 
   private:
     std::vector<std::uint8_t> ref_;
@@ -157,6 +180,7 @@ class SrripPolicy : public ReplacementPolicy
     void invalidate(int way) override;
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    void copyFrom(const ReplacementPolicy &other) override;
 
   private:
     static constexpr std::uint8_t kMax = 3;

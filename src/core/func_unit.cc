@@ -40,4 +40,12 @@ FuncUnitPool::reset()
     std::fill(freeAt_.begin(), freeAt_.end(), 0);
 }
 
+void
+FuncUnitPool::setReservations(const std::vector<Cycle> &busy_until)
+{
+    panicIf(busy_until.size() != freeAt_.size(),
+            "FuncUnitPool::setReservations: unit count mismatch");
+    freeAt_ = busy_until;
+}
+
 } // namespace hr

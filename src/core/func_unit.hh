@@ -49,6 +49,12 @@ class FuncUnitPool
     /** Forget reservations (pipeline flush/drain). */
     void reset();
 
+    /** Per-unit busy-until cycles (snapshot support). */
+    const std::vector<Cycle> &reservations() const { return freeAt_; }
+
+    /** Reinstate saved reservations (must match the unit count). */
+    void setReservations(const std::vector<Cycle> &busy_until);
+
   private:
     FuConfig config_;
     std::vector<Cycle> freeAt_; // per unit

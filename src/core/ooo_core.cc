@@ -76,11 +76,75 @@ OooCore::OooCore(const CoreConfig &config, Hierarchy &hierarchy,
         nextInterrupt_ = config_.interruptInterval;
 }
 
-OooCore::RobEntry *
-OooCore::findEntry(std::uint64_t seq)
+OooCore::Snapshot
+OooCore::snapshot() const
 {
-    auto it = bySeq_.find(seq);
-    return it == bySeq_.end() ? nullptr : it->second;
+    Snapshot snap;
+    snap.cycle = cycle_;
+    snap.nextInterrupt = nextInterrupt_;
+    snap.counters = counters_;
+    snap.nextSeq = nextSeq_;
+    snap.readyStamp = readyStamp_;
+    for (int i = 0; i < 6; ++i)
+        snap.reservations[i] = pools_[i]->reservations();
+    return snap;
+}
+
+void
+OooCore::restore(const Snapshot &snap)
+{
+    cycle_ = snap.cycle;
+    nextInterrupt_ = snap.nextInterrupt;
+    counters_ = snap.counters;
+    nextSeq_ = snap.nextSeq;
+    readyStamp_ = snap.readyStamp;
+    for (int i = 0; i < 6; ++i)
+        pools_[i]->setReservations(snap.reservations[i]);
+
+    // Drop any leftover pipeline state from a halted run so the core
+    // is idle, exactly as it is right after a completed run.
+    for (auto &entry : rob_)
+        recycleEntry(std::move(entry));
+    rob_.clear();
+    events_ = {};
+    for (auto &q : readyQueue_)
+        q = {};
+    replayQueue_.clear();
+    renameTable_.assign(renameTable_.size(), nullptr);
+    halted_ = false;
+    draining_ = false;
+    inflightStores_ = 0;
+    inflightBranches_ = 0;
+    iqOccupancy_ = 0;
+}
+
+std::unique_ptr<OooCore::RobEntry>
+OooCore::takeEntry()
+{
+    if (entryPool_.empty())
+        return std::make_unique<RobEntry>();
+    auto entry = std::move(entryPool_.back());
+    entryPool_.pop_back();
+    entry->status = Status::Waiting;
+    entry->pendingSrcs = 0;
+    entry->srcVal[0] = entry->srcVal[1] = entry->srcVal[2] = 0;
+    entry->value = 0;
+    entry->ea = 0;
+    entry->eaValid = false;
+    entry->predictedTaken = false;
+    entry->forwarded = false;
+    entry->consumers.clear();
+    return entry;
+}
+
+void
+OooCore::recycleEntry(std::unique_ptr<RobEntry> entry)
+{
+    // Kill any stale (entry, seq) references still sitting in events,
+    // ready/replay queues, or consumer lists: seqs are never reused,
+    // so no future seq can match kNoSeq or this entry's old seq.
+    entry->seq = kNoSeq;
+    entryPool_.push_back(std::move(entry));
 }
 
 std::int64_t
@@ -149,8 +213,9 @@ OooCore::setupRun(const Program &program,
     }
     renameTable_.assign(nregs, nullptr);
 
+    for (auto &entry : rob_)
+        recycleEntry(std::move(entry));
     rob_.clear();
-    bySeq_.clear();
     events_ = {};
     for (auto &q : readyQueue_)
         q = {};
@@ -174,7 +239,7 @@ OooCore::markReady(RobEntry &entry)
     const std::uint64_t key =
         config_.readyOrderIssue ? readyStamp_++ : entry.seq;
     readyQueue_[static_cast<int>(entry.inst.fuClass())].push(
-        {key, entry.seq});
+        {key, entry.seq, &entry});
 }
 
 void
@@ -201,9 +266,8 @@ OooCore::resolveEaIfReady(RobEntry &entry)
 void
 OooCore::wakeConsumers(RobEntry &producer)
 {
-    for (std::uint64_t consumer_seq : producer.consumers) {
-        RobEntry *consumer = findEntry(consumer_seq);
-        if (!consumer)
+    for (const auto &[consumer, consumer_seq] : producer.consumers) {
+        if (consumer->seq != consumer_seq)
             continue; // squashed
         for (int slot = 0; slot < 3; ++slot) {
             if (consumer->srcProducer[slot] == producer.seq) {
@@ -252,7 +316,7 @@ OooCore::squashAfter(std::uint64_t seq, std::int32_t new_pc)
             victim.status == Status::Ready) {
             --iqOccupancy_;
         }
-        bySeq_.erase(victim.seq);
+        recycleEntry(std::move(rob_.back()));
         rob_.pop_back();
         // Events, ready-queue entries, and in-flight cache fills for the
         // squashed instruction are removed lazily (seq lookups fail) —
@@ -278,8 +342,8 @@ OooCore::processCompletions()
     while (!events_.empty() && events_.top().cycle <= cycle_) {
         const Event ev = events_.top();
         events_.pop();
-        RobEntry *entry = findEntry(ev.seq);
-        if (!entry || entry->status != Status::Issued)
+        RobEntry *entry = ev.entry;
+        if (entry->seq != ev.seq || entry->status != Status::Issued)
             continue; // squashed (or stale)
         if (entry->inst.op == Opcode::Load && !entry->forwarded)
             entry->value = memory_.read(entry->ea);
@@ -309,7 +373,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
         if (!done)
             return false;
         entry.value = entry.srcVal[2]; // store data travels in slot 2
-        events_.push({*done, entry.seq});
+        events_.push({*done, entry.seq, &entry});
         ++counters_.issuedByClass[static_cast<int>(FuClass::MemWrite)];
         return true;
     }
@@ -334,7 +398,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
                 return false; // store data not ready yet
             entry.forwarded = true;
             entry.value = forward_from->value;
-            events_.push({cycle_ + 1, entry.seq});
+            events_.push({cycle_ + 1, entry.seq, &entry});
             ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
             return true;
         }
@@ -376,7 +440,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
     // 6.3.1: they never block the pipeline).
     const Cycle done =
         op == Opcode::Prefetch ? cycle_ + 1 : outcome.readyCycle;
-    events_.push({done, entry.seq});
+    events_.push({done, entry.seq, &entry});
     ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
     return true;
 }
@@ -389,19 +453,18 @@ OooCore::issueStage()
 
     // Memory-op replays first (they are the oldest waiters).
     if (!replayQueue_.empty()) {
-        std::vector<std::uint64_t> retry;
+        std::vector<std::pair<RobEntry *, std::uint64_t>> retry;
         retry.swap(replayQueue_);
-        for (std::uint64_t seq : retry) {
-            RobEntry *entry = findEntry(seq);
-            if (!entry || entry->status != Status::Ready)
-                continue;
+        for (const auto &[entry, seq] : retry) {
+            if (entry->seq != seq || entry->status != Status::Ready)
+                continue; // squashed
             if (issued < config_.issueWidth && tryIssueMemOp(*entry)) {
                 entry->status = Status::Issued;
                 --iqOccupancy_;
                 ++issued;
                 work = true;
             } else {
-                replayQueue_.push_back(seq);
+                replayQueue_.emplace_back(entry, seq);
             }
         }
     }
@@ -413,9 +476,9 @@ OooCore::issueStage()
     for (FuClass cls : kOrder) {
         auto &queue = readyQueue_[static_cast<int>(cls)];
         while (issued < config_.issueWidth && !queue.empty()) {
-            const std::uint64_t seq = queue.top().second;
-            RobEntry *entry = findEntry(seq);
-            if (!entry || entry->status != Status::Ready) {
+            const std::uint64_t seq = queue.top().seq;
+            RobEntry *entry = queue.top().entry;
+            if (entry->seq != seq || entry->status != Status::Ready) {
                 queue.pop(); // stale (squashed or re-routed)
                 continue;
             }
@@ -427,7 +490,7 @@ OooCore::issueStage()
                     ++issued;
                     work = true;
                 } else {
-                    replayQueue_.push_back(seq);
+                    replayQueue_.emplace_back(entry, seq);
                 }
                 continue;
             }
@@ -438,7 +501,7 @@ OooCore::issueStage()
             entry->value = computeAlu(*entry);
             entry->status = Status::Issued;
             --iqOccupancy_;
-            events_.push({*done, entry->seq});
+            events_.push({*done, entry->seq, entry});
             ++counters_.issuedByClass[static_cast<int>(cls)];
             ++issued;
             work = true;
@@ -468,7 +531,7 @@ OooCore::dispatchStage()
             break;
 
         const Instruction &inst = program_->code[fetchPc_];
-        auto entry = std::make_unique<RobEntry>();
+        auto entry = takeEntry();
         entry->seq = nextSeq_++;
         entry->pc = fetchPc_;
         entry->inst = inst;
@@ -510,7 +573,8 @@ OooCore::dispatchStage()
                 entry->srcVal[slot] = producer->value;
             } else {
                 entry->srcProducer[slot] = producer->seq;
-                producer->consumers.push_back(entry->seq);
+                producer->consumers.emplace_back(entry.get(),
+                                                 entry->seq);
                 ++entry->pendingSrcs;
             }
         }
@@ -527,7 +591,6 @@ OooCore::dispatchStage()
             markReady(*entry);
         ++iqOccupancy_;
 
-        bySeq_.emplace(entry->seq, entry.get());
         rob_.push_back(std::move(entry));
         work = true;
     }
@@ -570,7 +633,7 @@ OooCore::commitStage()
             break;
         }
         ++counters_.committedInstrs;
-        bySeq_.erase(head.seq);
+        recycleEntry(std::move(rob_.front()));
         rob_.pop_front();
         committed_any = true;
         if (halted_)

@@ -23,7 +23,6 @@
 #include <deque>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -127,6 +126,27 @@ class OooCore
     OooCore(const CoreConfig &config, Hierarchy &hierarchy,
             MemoryImage &memory, BranchPredictor &predictor);
 
+    /**
+     * The core state that persists across run() calls: global time,
+     * cumulative counters, the instruction sequence stream, and
+     * functional-unit reservations (which can extend past a run's
+     * end). Per-run pipeline state (ROB, queues) is rebuilt by
+     * setupRun and never needs capturing — snapshots are taken
+     * between runs by construction (run() is synchronous).
+     */
+    struct Snapshot
+    {
+        Cycle cycle = 0;
+        Cycle nextInterrupt = 0;
+        PerfCounters counters;
+        std::uint64_t nextSeq = 0;
+        std::uint64_t readyStamp = 0;
+        std::vector<Cycle> reservations[6];
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
     const CoreConfig &config() const { return config_; }
 
     /** Global cycle counter (monotonic across runs). */
@@ -165,7 +185,13 @@ class OooCore
         bool eaValid = false;
         bool predictedTaken = false;
         bool forwarded = false;
-        std::vector<std::uint64_t> consumers;
+        /**
+         * Waiting dependents as (entry, seq-at-registration) pairs.
+         * Entries are pool-recycled, never freed, so the pointer is
+         * always dereferenceable; a seq mismatch means the consumer
+         * was squashed (and possibly reused) — skip it.
+         */
+        std::vector<std::pair<RobEntry *, std::uint64_t>> consumers;
     };
 
     static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
@@ -174,6 +200,7 @@ class OooCore
     {
         Cycle cycle;
         std::uint64_t seq;
+        RobEntry *entry;
         bool operator>(const Event &o) const
         {
             if (cycle != o.cycle)
@@ -197,17 +224,36 @@ class OooCore
     const Program *program_ = nullptr;
     std::vector<std::int64_t> regfile_;
     std::vector<RobEntry *> renameTable_;
+    /**
+     * Reorder buffer. Entries always hold a contiguous seq range
+     * (dispatch appends nextSeq_++, commit pops the front, squash pops
+     * the back), so seq -> entry lookup is an index computation — no
+     * hash map on the wakeup path.
+     */
     std::deque<std::unique_ptr<RobEntry>> rob_;
-    std::unordered_map<std::uint64_t, RobEntry *> bySeq_;
+    /** Recycled RobEntry storage (bounded by robSize). */
+    std::vector<std::unique_ptr<RobEntry>> entryPool_;
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events_;
     /** Ready instructions per class, keyed by arbitration priority. */
-    using ReadyKey = std::pair<std::uint64_t, std::uint64_t>; // key, seq
-    std::priority_queue<ReadyKey, std::vector<ReadyKey>,
-                        std::greater<ReadyKey>>
+    struct ReadyItem
+    {
+        std::uint64_t key;
+        std::uint64_t seq;
+        RobEntry *entry;
+        bool operator>(const ReadyItem &o) const
+        {
+            if (key != o.key)
+                return key > o.key;
+            return seq > o.seq;
+        }
+    };
+    std::priority_queue<ReadyItem, std::vector<ReadyItem>,
+                        std::greater<ReadyItem>>
         readyQueue_[6];
     std::uint64_t readyStamp_ = 0;
-    std::vector<std::uint64_t> replayQueue_; ///< memory-op retries
+    /** Memory-op retries as (entry, seq) pairs (see consumers). */
+    std::vector<std::pair<RobEntry *, std::uint64_t>> replayQueue_;
     FuncUnitPool *pools_[6] = {};
     std::unique_ptr<FuncUnitPool> poolStorage_[6];
     std::uint64_t nextSeq_ = 0;
@@ -228,7 +274,8 @@ class OooCore
     void serviceInterrupt();
 
     // --- helpers ---
-    RobEntry *findEntry(std::uint64_t seq);
+    std::unique_ptr<RobEntry> takeEntry();
+    void recycleEntry(std::unique_ptr<RobEntry> entry);
     void markReady(RobEntry &entry);
     void resolveEaIfReady(RobEntry &entry);
     void wakeConsumers(RobEntry &producer);

@@ -1,0 +1,45 @@
+#include "exp/machine_pool.hh"
+
+namespace hr
+{
+
+MachinePool::MachinePool(MachineConfig config, Warmup warmup)
+    : config_(std::move(config)), warmup_(std::move(warmup))
+{
+}
+
+MachinePool::Lease
+MachinePool::lease()
+{
+    std::unique_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!idle_.empty()) {
+            slot = std::move(idle_.back());
+            idle_.pop_back();
+        } else {
+            ++built_;
+        }
+    }
+    if (slot) {
+        slot->machine->restore(slot->base);
+        return Lease(*this, std::move(slot));
+    }
+    // Construct outside the lock so warmups run concurrently.
+    slot = std::make_unique<Slot>();
+    slot->machine = std::make_unique<Machine>(config_);
+    if (warmup_)
+        warmup_(*slot->machine);
+    slot->base = slot->machine->snapshot();
+    return Lease(*this, std::move(slot));
+}
+
+MachinePool::Lease::~Lease()
+{
+    if (!slot_)
+        return; // moved-from
+    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    pool_->idle_.push_back(std::move(slot_));
+}
+
+} // namespace hr

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "exp/machine_pool.hh"
 #include "exp/scenario.hh"
 #include "gadgets/gadget_registry.hh"
 #include "sim/profiles.hh"
@@ -143,6 +144,14 @@ runSweep(const SweepOptions &options)
                         options.profile, options.params,
                         options.progress);
 
+    // Grid points differ only in their RNG streams, so instead of
+    // reconstructing a Machine per point (thousands of per-set
+    // replacement allocations), each point leases a pooled machine
+    // restored to the pristine base state and re-seeds the noise
+    // streams — bit-identical to a fresh build with the same seeds.
+    const MachineConfig base_config = ctx.machineConfig();
+    MachinePool machine_pool(base_config);
+
     const std::vector<SweepRow> rows = ctx.parallelMap(
         points, [&](int index, Rng &) {
             SweepRow row;
@@ -156,12 +165,14 @@ runSweep(const SweepOptions &options)
                 // (latency jitter, random-replacement choices) while
                 // staying deterministic per grid index, so repeats
                 // with different seeds are independent replicates.
-                MachineConfig mc = ctx.machineConfig();
-                mc.memory.rngSeed ^= ctx.indexSeed(index);
-                mc.memory.l1.rngSeed ^= ctx.indexSeed(index);
-                mc.memory.l2.rngSeed ^= ctx.indexSeed(index);
-                mc.memory.l3.rngSeed ^= ctx.indexSeed(index);
-                Machine machine(mc);
+                auto lease = machine_pool.lease();
+                Machine &machine = lease.machine();
+                const std::uint64_t mix = ctx.indexSeed(index);
+                machine.hierarchy().reseed(
+                    base_config.memory.rngSeed ^ mix,
+                    base_config.memory.l1.rngSeed ^ mix,
+                    base_config.memory.l2.rngSeed ^ mix,
+                    base_config.memory.l3.rngSeed ^ mix);
                 auto source =
                     GadgetRegistry::instance().make(gadget.name, params);
                 if (!source->compatible(machine)) {

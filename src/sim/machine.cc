@@ -87,6 +87,28 @@ Machine::toNs(Cycle cycles) const
     return static_cast<double>(cycles) / config_.ghz;
 }
 
+Machine::Snapshot
+Machine::snapshot()
+{
+    Snapshot snap;
+    snap.hierarchy = hierarchy_.snapshot();
+    snap.core = core_->snapshot();
+    snap.predictor = predictor_;
+    snap.memory = memory_;
+    snap.nextProgramId = nextProgramId_;
+    return snap;
+}
+
+void
+Machine::restore(const Snapshot &snap)
+{
+    hierarchy_.restore(snap.hierarchy);
+    core_->restore(snap.core);
+    predictor_ = snap.predictor;
+    memory_ = snap.memory;
+    nextProgramId_ = snap.nextProgramId;
+}
+
 RunResult
 Machine::run(Program &program,
              const std::vector<std::pair<RegId, std::int64_t>>

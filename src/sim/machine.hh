@@ -65,6 +65,51 @@ class Machine
   public:
     explicit Machine(const MachineConfig &config = {});
 
+    /**
+     * Deep copy of everything that persists across run() calls: cache
+     * hierarchy (tag arrays, replacement state, in-flight fills),
+     * branch predictor, memory image, core counters/cycle, and the
+     * program-id counter. Move-only; restore any number of times.
+     *
+     * Aliasing caveats (see EXPERIMENTS.md):
+     *  - restore() does not change serial(), so TimingSources
+     *    calibrated against this machine BEFORE the snapshot remain
+     *    valid afterwards (the warm/calibrate-once use case), but a
+     *    calibration done AFTER the snapshot also survives a restore
+     *    even though the state it measured was rolled back.
+     *  - Programs keep their assigned ids across a restore while the
+     *    id counter rolls back, so a program first run after the
+     *    snapshot reuses the same id on every replay — which is what
+     *    makes replays bit-identical.
+     */
+    class Snapshot
+    {
+      public:
+        Snapshot() = default;
+        Snapshot(Snapshot &&) = default;
+        Snapshot &operator=(Snapshot &&) = default;
+
+      private:
+        friend class Machine;
+        Hierarchy::Snapshot hierarchy;
+        OooCore::Snapshot core;
+        BranchPredictor predictor;
+        MemoryImage memory;
+        std::uint64_t nextProgramId = 1;
+    };
+
+    /** Capture the current state (between run() calls). */
+    Snapshot snapshot();
+
+    /**
+     * Reset to a snapshotted state. The snapshot must come from a
+     * machine with an identical configuration — normally this one.
+     * Restoring the most recent snapshot of this machine only copies
+     * back cache sets touched since (fast); anything else falls back
+     * to a full deep copy.
+     */
+    void restore(const Snapshot &snap);
+
     const MachineConfig &config() const { return config_; }
 
     /**

@@ -32,7 +32,15 @@ CoarseTimer::nowNs(Cycle cycle)
 double
 CoarseTimer::elapsedNs(Cycle start, Cycle end)
 {
-    return nowNs(end) - nowNs(start);
+    // A zero-length interval reads exactly zero: drawing jitter
+    // independently for both endpoints could otherwise report a full
+    // tick for no elapsed time at all.
+    if (start == end)
+        return 0.0;
+    // Independent edge fuzzing can also quantize the end before the
+    // start; a real clock read never goes backwards, so clamp.
+    const double elapsed = nowNs(end) - nowNs(start);
+    return elapsed < 0.0 ? 0.0 : elapsed;
 }
 
 bool

@@ -14,6 +14,10 @@ namespace hr
 void
 SampleStats::add(double x)
 {
+    if (!std::isfinite(x)) {
+        ++dropped_;
+        return;
+    }
     samples_.push_back(x);
     sorted_ = false;
 }
@@ -72,6 +76,13 @@ SampleStats::percentile(double p) const
     if (samples_.empty())
         return 0.0;
     ensureSorted();
+    // Edges return the exact order statistic: interpolating at p=0/100
+    // (or on a one-element set) can drift by a few ulps, which matters
+    // when callers compare percentiles against recorded extremes.
+    if (samples_.size() == 1 || p <= 0.0)
+        return samples_.front();
+    if (p >= 100.0)
+        return samples_.back();
     const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(rank);
     const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
@@ -88,11 +99,22 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
+    if (!std::isfinite(x)) {
+        // Casting a NaN/inf bin index to an integer is UB; count the
+        // sample as dropped instead of corrupting a bin.
+        ++dropped_;
+        return;
+    }
     const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-    auto idx = static_cast<std::int64_t>((x - lo_) / width);
-    idx = std::clamp<std::int64_t>(idx, 0,
-            static_cast<std::int64_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
+    // Clamp in the double domain: casting a finite value outside the
+    // int64 range is just as undefined as casting a NaN.
+    double pos = (x - lo_) / width;
+    const double last = static_cast<double>(counts_.size() - 1);
+    if (!(pos > 0.0))
+        pos = 0.0;
+    else if (pos > last)
+        pos = last;
+    ++counts_[static_cast<std::size_t>(pos)];
     ++total_;
 }
 

@@ -22,11 +22,14 @@ namespace hr
 class SampleStats
 {
   public:
-    /** Add one observation. */
+    /** Add one observation. Non-finite samples are counted and ignored. */
     void add(double x);
 
     /** Number of observations so far. */
     std::size_t count() const { return samples_.size(); }
+
+    /** Non-finite (NaN/inf) samples rejected so far. */
+    std::size_t dropped() const { return dropped_; }
 
     /** Arithmetic mean (0 if empty). */
     double mean() const;
@@ -48,6 +51,7 @@ class SampleStats
   private:
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;
+    std::size_t dropped_ = 0;
 
     void ensureSorted() const;
 };
@@ -61,10 +65,14 @@ class Histogram
   public:
     Histogram(double lo, double hi, std::size_t bins);
 
+    /** Add one sample. Non-finite samples are counted and ignored. */
     void add(double x);
 
     std::size_t bins() const { return counts_.size(); }
     std::size_t total() const { return total_; }
+
+    /** Non-finite (NaN/inf) samples rejected so far. */
+    std::size_t dropped() const { return dropped_; }
     std::size_t binCount(std::size_t i) const { return counts_.at(i); }
 
     /** Center of bin i. */
@@ -92,6 +100,7 @@ class Histogram
     double lo_, hi_;
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
+    std::size_t dropped_ = 0;
 };
 
 /** Pearson correlation between two equal-length series. */

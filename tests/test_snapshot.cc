@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Machine snapshot/restore determinism tests.
+ *
+ * The contract: snapshot -> run -> restore -> rerun is bit-identical
+ * to two fresh runs, for every registered machine profile and every
+ * replacement policy. These tests pin the contract with a workload
+ * that exercises loads, stores, branches (trained and mispredicted),
+ * multi-level fills, and pending in-flight state at snapshot time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "exp/machine_pool.hh"
+#include "isa/program.hh"
+#include "sim/machine.hh"
+#include "sim/profiles.hh"
+
+namespace hr
+{
+namespace
+{
+
+/** Addresses the workload touches (spread over several sets). */
+std::vector<Addr>
+workloadAddrs()
+{
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 24; ++i)
+        addrs.push_back(0x40000 + static_cast<Addr>(i) * 0x1040);
+    return addrs;
+}
+
+/** Load/store/branch mix; `variant` changes the branch direction. */
+Program
+makeWorkload(int variant)
+{
+    ProgramBuilder builder("snap_wl" + std::to_string(variant));
+    RegId x = builder.movImm(variant);
+    RegId acc = builder.movImm(1);
+    for (Addr addr : workloadAddrs()) {
+        RegId v = builder.loadAbsolute(addr);
+        acc = builder.binop(Opcode::Add, acc, v);
+    }
+    acc = builder.binopImm(Opcode::Mul, acc, 7);
+    const std::int32_t skip = builder.newLabel();
+    builder.branch(x, skip); // taken iff variant != 0
+    acc = builder.binopImm(Opcode::Xor, acc, 0x5a);
+    builder.bind(skip);
+    builder.storeOrdered(0x90000, acc, acc);
+    builder.halt();
+    return builder.take();
+}
+
+/** Everything observable we can cheaply compare. */
+struct Fingerprint
+{
+    Cycle now = 0;
+    Cycle runCycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t l1Hits = 0, l1Misses = 0, l1Fills = 0, l1Evictions = 0;
+    std::uint64_t l2Misses = 0, l3Misses = 0, memAccesses = 0;
+    std::vector<int> levels;
+    std::vector<std::string> setStates;
+    std::int64_t storedWord = 0;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return now == o.now && runCycles == o.runCycles &&
+               committed == o.committed &&
+               mispredicts == o.mispredicts && l1Hits == o.l1Hits &&
+               l1Misses == o.l1Misses && l1Fills == o.l1Fills &&
+               l1Evictions == o.l1Evictions && l2Misses == o.l2Misses &&
+               l3Misses == o.l3Misses && memAccesses == o.memAccesses &&
+               levels == o.levels && setStates == o.setStates &&
+               storedWord == o.storedWord;
+    }
+};
+
+Fingerprint
+fingerprint(Machine &machine, const RunResult &result)
+{
+    Fingerprint fp;
+    fp.now = machine.now();
+    fp.runCycles = result.cycles();
+    fp.committed = result.counters.committedInstrs;
+    fp.mispredicts = result.counters.mispredicts;
+    const CacheStats &l1 = machine.hierarchy().l1().stats();
+    fp.l1Hits = l1.hits;
+    fp.l1Misses = l1.misses;
+    fp.l1Fills = l1.fills;
+    fp.l1Evictions = l1.evictions;
+    fp.l2Misses = machine.hierarchy().l2().stats().misses;
+    fp.l3Misses = machine.hierarchy().l3().stats().misses;
+    fp.memAccesses = machine.hierarchy().memAccesses();
+    for (Addr addr : workloadAddrs()) {
+        fp.levels.push_back(machine.probeLevel(addr));
+        fp.setStates.push_back(
+            machine.hierarchy().l1().setStateString(addr));
+    }
+    fp.storedWord = machine.peek(0x90000);
+    return fp;
+}
+
+/** Train (variant 0) then attack (variant 1) — branch mispredicts. */
+Fingerprint
+runPhase(Machine &machine, Program &w2)
+{
+    const RunResult result = machine.run(w2);
+    return fingerprint(machine, result);
+}
+
+struct Combo
+{
+    std::string profile;
+    PolicyKind policy;
+};
+
+std::vector<Combo>
+allCombos()
+{
+    const PolicyKind kinds[] = {PolicyKind::TreePlru, PolicyKind::Lru,
+                                PolicyKind::Random, PolicyKind::Nru,
+                                PolicyKind::Srrip};
+    std::vector<Combo> combos;
+    for (const MachineProfile &profile : machineProfiles())
+        for (PolicyKind kind : kinds)
+            combos.push_back({profile.name, kind});
+    return combos;
+}
+
+MachineConfig
+configFor(const Combo &combo)
+{
+    MachineConfig config = machineConfigForProfile(combo.profile);
+    config.memory.l1.policy = combo.policy;
+    return config;
+}
+
+TEST(Snapshot, ReplayIsBitIdenticalAcrossProfilesAndPolicies)
+{
+    for (const Combo &combo : allCombos()) {
+        SCOPED_TRACE(combo.profile + "/" +
+                     policyKindName(combo.policy));
+        Machine machine(configFor(combo));
+        Program w1 = makeWorkload(0);
+        machine.run(w1); // warm caches, train the branch not-taken
+        // Snapshot with in-flight fills still pending (no settle()).
+        Machine::Snapshot snap = machine.snapshot();
+
+        Program w2 = makeWorkload(1);
+        const Fingerprint first = runPhase(machine, w2);
+        machine.restore(snap);
+        const Fingerprint replay = runPhase(machine, w2);
+        EXPECT_TRUE(first == replay);
+    }
+}
+
+TEST(Snapshot, RestoredRunMatchesFreshMachine)
+{
+    for (const Combo &combo : allCombos()) {
+        SCOPED_TRACE(combo.profile + "/" +
+                     policyKindName(combo.policy));
+        const MachineConfig config = configFor(combo);
+
+        Machine pooled(config);
+        Program w1a = makeWorkload(0);
+        pooled.run(w1a);
+        Machine::Snapshot snap = pooled.snapshot();
+        Program w2a = makeWorkload(1);
+        runPhase(pooled, w2a); // mutate heavily...
+        pooled.flushAllCaches();
+        pooled.run(w2a);
+        pooled.restore(snap); // ...then roll back
+        Program w2b = makeWorkload(1);
+        const Fingerprint restored = runPhase(pooled, w2b);
+
+        Machine fresh(config);
+        Program w1c = makeWorkload(0);
+        fresh.run(w1c);
+        Program w2c = makeWorkload(1);
+        const Fingerprint baseline = runPhase(fresh, w2c);
+
+        EXPECT_TRUE(restored == baseline);
+    }
+}
+
+TEST(Snapshot, OlderSnapshotFallsBackToFullRestore)
+{
+    Machine machine(machineConfigForProfile("default"));
+    Program w1 = makeWorkload(0);
+    machine.run(w1);
+    Machine::Snapshot snap1 = machine.snapshot();
+    Program w2 = makeWorkload(1);
+    const Fingerprint first = runPhase(machine, w2);
+    // A second snapshot rebases the dirty tracking; restoring snap1
+    // afterwards must still be exact (full-restore path).
+    Machine::Snapshot snap2 = machine.snapshot();
+    machine.flushAllCaches();
+    machine.restore(snap1);
+    const Fingerprint replay = runPhase(machine, w2);
+    EXPECT_TRUE(first == replay);
+    machine.restore(snap2); // and snap2 remains usable too
+    EXPECT_EQ(machine.now(), first.now);
+}
+
+TEST(Snapshot, CacheLevelRestoreReplaysRandomVictims)
+{
+    CacheConfig config{"set", 4, 4, 64, PolicyKind::Random, 77};
+    Cache cache(config);
+    for (int i = 0; i < 4; ++i)
+        cache.fill(static_cast<Addr>(i) * 1024); // fill set 0
+    Cache::Snapshot snap = cache.snapshot();
+
+    auto evictions = [&]() {
+        std::vector<Addr> out;
+        for (int i = 4; i < 12; ++i) {
+            auto evicted = cache.fill(static_cast<Addr>(i) * 1024);
+            if (evicted)
+                out.push_back(*evicted);
+        }
+        return out;
+    };
+    const std::vector<Addr> first = evictions();
+    cache.restore(snap);
+    EXPECT_EQ(evictions(), first); // same rng stream -> same victims
+    EXPECT_EQ(cache.stats().evictions, first.size());
+}
+
+TEST(Snapshot, MachinePoolLeasesAreInterchangeableWithFresh)
+{
+    const MachineConfig config =
+        machineConfigForProfile("effective_window");
+    MachinePool pool(config);
+    Fingerprint fps[3];
+    for (Fingerprint &fp : fps) {
+        auto lease = pool.lease();
+        Program w = makeWorkload(1);
+        fp = runPhase(lease.machine(), w);
+    }
+    EXPECT_TRUE(fps[0] == fps[1]); // recycled lease == first lease
+    EXPECT_TRUE(fps[0] == fps[2]);
+    EXPECT_EQ(pool.machinesBuilt(), 1u); // sequential leases reuse
+
+    Machine fresh(config);
+    Program w = makeWorkload(1);
+    const Fingerprint baseline = runPhase(fresh, w);
+    EXPECT_TRUE(fps[0] == baseline);
+}
+
+TEST(Snapshot, ReseedMatchesFreshConstruction)
+{
+    // The sweep path: restore a pooled machine and reseed its noise
+    // streams; must equal a machine built with those seeds directly.
+    MachineConfig base = machineConfigForProfile("random_l1");
+    base.memory.l3Jitter = 8;
+    base.memory.memJitter = 30;
+
+    Machine pooled(base);
+    Machine::Snapshot snap = pooled.snapshot();
+    Program mutate = makeWorkload(0);
+    pooled.run(mutate);
+    pooled.restore(snap);
+    const std::uint64_t mix = 0xdeadbeefcafe1234ull;
+    pooled.hierarchy().reseed(base.memory.rngSeed ^ mix,
+                              base.memory.l1.rngSeed ^ mix,
+                              base.memory.l2.rngSeed ^ mix,
+                              base.memory.l3.rngSeed ^ mix);
+    Program wa = makeWorkload(1);
+    const Fingerprint restored = runPhase(pooled, wa);
+
+    MachineConfig mixed = base;
+    mixed.memory.rngSeed ^= mix;
+    mixed.memory.l1.rngSeed ^= mix;
+    mixed.memory.l2.rngSeed ^= mix;
+    mixed.memory.l3.rngSeed ^= mix;
+    Machine fresh(mixed);
+    Program wb = makeWorkload(1);
+    const Fingerprint baseline = runPhase(fresh, wb);
+
+    EXPECT_TRUE(restored == baseline);
+}
+
+} // namespace
+} // namespace hr

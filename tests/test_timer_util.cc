@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "timer/coarse_timer.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -49,6 +51,34 @@ TEST(CoarseTimer, VeryCoarsePreset)
 {
     CoarseTimer timer(TimerConfig::veryCoarse());
     EXPECT_EQ(timer.nowNs(2'000'000), 0.0); // 1 ms < 100 ms tick
+}
+
+TEST(CoarseTimer, ZeroIntervalReadsExactlyZero)
+{
+    // Regression: elapsedNs drew independent jitter for start and end,
+    // so a zero-length interval could read as a whole (positive or
+    // negative) tick.
+    TimerConfig config;
+    config.jitterNs = 6000; // wider than the 5 us resolution
+    config.rngSeed = 11;
+    CoarseTimer timer(config);
+    for (Cycle c : {0u, 1000u, 9999u, 10000u, 123456u})
+        for (int rep = 0; rep < 20; ++rep)
+            EXPECT_EQ(timer.elapsedNs(c, c), 0.0);
+}
+
+TEST(CoarseTimer, ElapsedNeverNegative)
+{
+    TimerConfig config;
+    config.jitterNs = 6000;
+    config.rngSeed = 12;
+    CoarseTimer timer(config);
+    Rng rng(13);
+    for (int i = 0; i < 500; ++i) {
+        const Cycle start = rng.below(1'000'000);
+        const Cycle end = start + rng.below(30'000);
+        EXPECT_GE(timer.elapsedNs(start, end), 0.0);
+    }
 }
 
 TEST(Rng, DeterministicAndWellDistributed)
@@ -121,6 +151,62 @@ TEST(Histogram, BinningAndOverlap)
     a.add(50);
     EXPECT_EQ(a.binCount(0), 1u);
     EXPECT_EQ(a.binCount(9), 1u);
+}
+
+TEST(SampleStats, PercentileEdgesAreExactOrderStatistics)
+{
+    SampleStats empty;
+    EXPECT_EQ(empty.percentile(50.0), 0.0);
+
+    SampleStats one;
+    one.add(42.5);
+    EXPECT_EQ(one.percentile(0.0), 42.5);
+    EXPECT_EQ(one.percentile(50.0), 42.5);
+    EXPECT_EQ(one.percentile(100.0), 42.5);
+
+    // Sizes where rank interpolation could drift by an ulp: p = 100
+    // must return the recorded max exactly, p = 0 the min.
+    SampleStats stats;
+    for (int i = 0; i < 7; ++i)
+        stats.add(1e15 + static_cast<double>(i) * 0.7);
+    EXPECT_EQ(stats.percentile(100.0), stats.max());
+    EXPECT_EQ(stats.percentile(0.0), stats.min());
+    EXPECT_EQ(stats.percentile(120.0), stats.max()); // clamps
+    EXPECT_EQ(stats.percentile(-5.0), stats.min());
+}
+
+TEST(SampleStats, DropsNonFiniteSamples)
+{
+    SampleStats stats;
+    stats.add(1.0);
+    stats.add(std::numeric_limits<double>::quiet_NaN());
+    stats.add(std::numeric_limits<double>::infinity());
+    stats.add(3.0);
+    EXPECT_EQ(stats.count(), 2u);
+    EXPECT_EQ(stats.dropped(), 2u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(Histogram, DropsNonFiniteSamples)
+{
+    // Regression: a NaN sample cast to an int64 bin index is UB.
+    Histogram hist(0, 10, 10);
+    hist.add(5.0);
+    hist.add(std::numeric_limits<double>::quiet_NaN());
+    hist.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(hist.total(), 1u);
+    EXPECT_EQ(hist.dropped(), 2u);
+    EXPECT_EQ(hist.binCount(5), 1u);
+    EXPECT_DOUBLE_EQ(hist.binFraction(5), 1.0);
+
+    // Finite but astronomically out-of-range values must clamp (the
+    // double -> int64 cast of a huge bin index is UB too).
+    hist.add(1e300);
+    hist.add(-1e300);
+    EXPECT_EQ(hist.total(), 3u);
+    EXPECT_EQ(hist.binCount(9), 1u);
+    EXPECT_EQ(hist.binCount(0), 1u);
 }
 
 TEST(StatsHelpers, CorrelationAndSlope)
