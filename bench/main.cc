@@ -21,6 +21,7 @@
  * with CI exactly like the former standalone benches.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -219,9 +220,18 @@ cmdList(const Cli &cli)
 int
 cmdProfiles(const Cli &cli)
 {
-    Table table({"profile", "description"});
+    // Sorted by name, like `list` and `gadgets`, so output order is
+    // stable however the profile table is maintained.
+    std::vector<const MachineProfile *> sorted;
     for (const MachineProfile &profile : machineProfiles())
-        table.addRow({profile.name, profile.description});
+        sorted.push_back(&profile);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const MachineProfile *a, const MachineProfile *b) {
+                  return a->name < b->name;
+              });
+    Table table({"profile", "description"});
+    for (const MachineProfile *profile : sorted)
+        table.addRow({profile->name, profile->description});
     if (cli.options.format == Format::Table)
         table.print();
     else

@@ -13,20 +13,36 @@ Hierarchy::Hierarchy(const HierarchyConfig &config)
             config_.l2.lineBytes != config_.l3.lineBytes,
             "Hierarchy: line size must match across levels");
     fatalIf(config_.l1Mshrs <= 0, "Hierarchy: need at least one MSHR");
+    fatalIf(config_.contexts < 1, "Hierarchy: need at least one context");
+    for (int ctx = 1; ctx < config_.contexts; ++ctx)
+        ctxRngs_.emplace_back(
+            contextSeed(config_.rngSeed, static_cast<ContextId>(ctx)));
+    ctxStats_.resize(static_cast<std::size_t>(config_.contexts));
+}
+
+const ContextAccessStats &
+Hierarchy::contextStats(ContextId ctx) const
+{
+    panicIf(ctx >= ctxStats_.size(), "Hierarchy: context out of range");
+    return ctxStats_[ctx];
 }
 
 AccessOutcome
-Hierarchy::access(Addr addr, Cycle now, AccessKind kind)
+Hierarchy::access(Addr addr, Cycle now, AccessKind kind, ContextId ctx)
 {
     (void)kind; // stores are write-allocate, prefetches fetch like loads
     applyFillsUpTo(now);
 
+    // No bounds check on the hot path: the core only issues contexts
+    // it was constructed with (contextStats() guards external readers).
+    ContextAccessStats &attribution = ctxStats_[ctx];
     const Addr line = l1_.lineAddr(addr);
     AccessOutcome out;
 
     // Single L1 walk: a hit counts and touches; a miss defers its
     // stats until we know the access is accepted (noteMiss below).
     if (l1_.accessWay(line) >= 0) {
+        ++attribution.hits[0];
         out.readyCycle = now + config_.l1Latency;
         out.level = 1;
         return out;
@@ -36,6 +52,7 @@ Hierarchy::access(Addr addr, Cycle now, AccessKind kind)
     auto it = inflight_.find(line);
     if (it != inflight_.end()) {
         l1_.noteMiss(); // counts the demand miss
+        ++attribution.misses;
         out.readyCycle = std::max(it->second.ready,
                                   now + config_.l1Latency);
         out.level = it->second.level;
@@ -50,24 +67,31 @@ Hierarchy::access(Addr addr, Cycle now, AccessKind kind)
         return out;
     }
     l1_.noteMiss(); // counts the demand miss
+    ++attribution.misses;
 
+    // Jitter comes from the requesting context's private stream so
+    // co-runners do not perturb each other's latency-noise sequences.
+    Rng &jitter = ctx == 0 ? rng_ : ctxRngs_[ctx - 1];
     Cycle ready;
     int level;
     if (l2_.access(line)) {
         ready = now + config_.l2Latency;
         level = 2;
+        ++attribution.hits[1];
     } else if (l3_.access(line)) {
         ready = now + config_.l3Latency +
-                (config_.l3Jitter ? rng_.below(config_.l3Jitter + 1) : 0);
+                (config_.l3Jitter ? jitter.below(config_.l3Jitter + 1) : 0);
         level = 3;
+        ++attribution.hits[2];
     } else {
         ++memAccesses_;
+        ++attribution.memAccesses;
         ready = now + config_.memLatency +
-                (config_.memJitter ? rng_.below(config_.memJitter + 1) : 0);
+                (config_.memJitter ? jitter.below(config_.memJitter + 1) : 0);
         level = 4;
     }
 
-    Inflight fill{ready, nextSeq_++, line, level};
+    Inflight fill{ready, nextSeq_++, line, level, ctx};
     inflight_.emplace(line, fill);
     fillQueue_.push(fill);
 
@@ -91,6 +115,8 @@ Hierarchy::applyFill(const Inflight &fill)
     if (fill.level >= 3)
         l2_.fill(fill.line);
     l1_.fill(fill.line);
+    if (fill.ctx < ctxStats_.size())
+        ++ctxStats_[fill.ctx].fills;
 }
 
 void
@@ -187,6 +213,8 @@ Hierarchy::clearStats()
     l2_.clearStats();
     l3_.clearStats();
     memAccesses_ = 0;
+    for (ContextAccessStats &stats : ctxStats_)
+        stats = ContextAccessStats();
 }
 
 Hierarchy::Snapshot
@@ -197,6 +225,8 @@ Hierarchy::snapshot()
     snap.l2 = l2_.snapshot();
     snap.l3 = l3_.snapshot();
     snap.rng = rng_;
+    snap.ctxRngs = ctxRngs_;
+    snap.ctxStats = ctxStats_;
     snap.memAccesses = memAccesses_;
     snap.nextSeq = nextSeq_;
     snap.inflight = inflight_;
@@ -211,6 +241,10 @@ Hierarchy::restore(const Snapshot &snap)
     l2_.restore(snap.l2);
     l3_.restore(snap.l3);
     rng_ = snap.rng;
+    panicIf(snap.ctxStats.size() != ctxStats_.size(),
+            "Hierarchy::restore: context count mismatch");
+    ctxRngs_ = snap.ctxRngs;
+    ctxStats_ = snap.ctxStats;
     memAccesses_ = snap.memAccesses;
     nextSeq_ = snap.nextSeq;
     inflight_ = snap.inflight;
@@ -226,9 +260,22 @@ Hierarchy::reseed(std::uint64_t mem_seed, std::uint64_t l1_seed,
     config_.l2.rngSeed = l2_seed;
     config_.l3.rngSeed = l3_seed;
     rng_ = Rng(mem_seed);
+    for (std::size_t i = 0; i < ctxRngs_.size(); ++i)
+        ctxRngs_[i] = Rng(contextSeed(
+            mem_seed, static_cast<ContextId>(i + 1)));
     l1_.reseedPolicies(l1_seed);
     l2_.reseedPolicies(l2_seed);
     l3_.reseedPolicies(l3_seed);
+}
+
+void
+Hierarchy::reseedContext(ContextId ctx, std::uint64_t seed)
+{
+    panicIf(ctx >= ctxStats_.size(), "Hierarchy: context out of range");
+    if (ctx == 0)
+        rng_ = Rng(seed);
+    else
+        ctxRngs_[ctx - 1] = Rng(seed);
 }
 
 } // namespace hr

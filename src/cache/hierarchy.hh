@@ -47,6 +47,41 @@ struct HierarchyConfig
     bool inclusiveL3 = true;
 
     std::uint64_t rngSeed = 7; ///< jitter stream seed
+
+    /**
+     * Hardware contexts sharing the hierarchy (set by the Machine from
+     * MachineConfig::contexts). Sizes the per-context attribution
+     * counters and jitter streams; context 0 always uses the stream
+     * seeded with rngSeed, so single-context behaviour is unchanged.
+     */
+    int contexts = 1;
+};
+
+/**
+ * Per-context attribution of demand traffic through the shared
+ * hierarchy. Indices 0..2 are L1..L3; hits[i] counts demand hits whose
+ * data was found at level i+1, misses counts L1 demand misses, fills
+ * counts lines installed on this context's behalf. These are pure
+ * attribution — the per-level CacheStats aggregates are unchanged, so
+ * single-context totals match the legacy counters exactly.
+ */
+struct ContextAccessStats
+{
+    std::uint64_t hits[3] = {};
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t memAccesses = 0;
+
+    ContextAccessStats operator-(const ContextAccessStats &o) const
+    {
+        ContextAccessStats d;
+        for (int i = 0; i < 3; ++i)
+            d.hits[i] = hits[i] - o.hits[i];
+        d.misses = misses - o.misses;
+        d.fills = fills - o.fills;
+        d.memAccesses = memAccesses - o.memAccesses;
+        return d;
+    }
 };
 
 /** Result of issuing a memory access. */
@@ -72,7 +107,8 @@ class Hierarchy
         Cycle ready;
         std::uint64_t seq;
         Addr line;
-        int level; ///< where the data was found
+        int level;          ///< where the data was found
+        ContextId ctx = 0;  ///< requesting context (fill attribution)
     };
 
     struct FillOrder
@@ -91,7 +127,8 @@ class Hierarchy
 
     /**
      * Deep copy of all memory-side state: per-level tag arrays and
-     * replacement state, jitter stream, counters, and in-flight
+     * replacement state, every context's jitter stream and
+     * attribution counters, aggregate counters, and in-flight
      * requests (so pending fills replay identically). Move-only.
      */
     class Snapshot
@@ -105,6 +142,8 @@ class Hierarchy
         friend class Hierarchy;
         Cache::Snapshot l1, l2, l3;
         Rng rng;
+        std::vector<Rng> ctxRngs;
+        std::vector<ContextAccessStats> ctxStats;
         std::uint64_t memAccesses = 0;
         std::uint64_t nextSeq = 0;
         std::map<Addr, Inflight> inflight;
@@ -123,13 +162,23 @@ class Hierarchy
 
     std::uint64_t memAccesses() const { return memAccesses_; }
 
+    /** Number of hardware contexts sharing this hierarchy. */
+    int contexts() const { return config_.contexts; }
+
+    /** Demand-traffic attribution for one context. */
+    const ContextAccessStats &contextStats(ContextId ctx) const;
+
     /**
-     * Issue an access at cycle @p now.
+     * Issue an access at cycle @p now on behalf of context @p ctx.
      *
      * Applies all fills due at or before @p now first, so lookups always
      * see up-to-date state. May refuse (no MSHR) — the core retries.
+     * Latency jitter is drawn from the requesting context's own stream,
+     * so one context's jitter sequence does not depend on how another
+     * context's accesses interleave with it.
      */
-    AccessOutcome access(Addr addr, Cycle now, AccessKind kind);
+    AccessOutcome access(Addr addr, Cycle now, AccessKind kind,
+                         ContextId ctx = 0);
 
     /** Apply every pending fill with ready <= now (in return order). */
     void applyFillsUpTo(Cycle now);
@@ -178,10 +227,31 @@ class Hierarchy
     void reseed(std::uint64_t mem_seed, std::uint64_t l1_seed,
                 std::uint64_t l2_seed, std::uint64_t l3_seed);
 
+    /**
+     * Re-seed one context's private jitter stream (context 0's stream
+     * is also re-seeded by reseed()). Lets noisy-neighbor sweeps vary
+     * a single co-runner's latency noise without touching the others.
+     */
+    void reseedContext(ContextId ctx, std::uint64_t seed);
+
+    /**
+     * The seed a context's jitter stream starts from: context 0 uses
+     * @p base verbatim (legacy stream), higher contexts derive an
+     * independent stream deterministically.
+     */
+    static std::uint64_t contextSeed(std::uint64_t base, ContextId ctx)
+    {
+        return base + 0x9e3779b97f4a7c15ull * ctx;
+    }
+
   private:
     HierarchyConfig config_;
     Cache l1_, l2_, l3_;
     Rng rng_;
+    /** Private jitter streams for contexts 1.. (context 0 uses rng_). */
+    std::vector<Rng> ctxRngs_;
+    /** Per-context demand-traffic attribution. */
+    std::vector<ContextAccessStats> ctxStats_;
     std::uint64_t memAccesses_ = 0;
     std::uint64_t nextSeq_ = 0;
 

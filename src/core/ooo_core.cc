@@ -1,6 +1,7 @@
 #include "core/ooo_core.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/log.hh"
 
@@ -60,11 +61,16 @@ writesReg(const Instruction &inst)
 } // namespace
 
 OooCore::OooCore(const CoreConfig &config, Hierarchy &hierarchy,
-                 MemoryImage &memory, BranchPredictor &predictor)
+                 MemoryImage &memory, BranchPredictor &predictor,
+                 int contexts)
     : config_(config), hierarchy_(hierarchy), memory_(memory),
-      predictor_(predictor)
+      predictor_(predictor),
+      ctxs_(contexts > 0 ? static_cast<std::size_t>(contexts) : 1)
 {
-    fatalIf(config_.robSize < 4, "OooCore: robSize too small");
+    fatalIf(contexts < 1, "OooCore: need at least one context");
+    robPartition_ = config_.robSize / contexts;
+    fatalIf(robPartition_ < 4,
+            "OooCore: robSize too small for the context count");
     const FuConfig *fu_configs[6] = {
         &config_.intAlu, &config_.intMul, &config_.fpDiv,
         &config_.memRead, &config_.memWrite, &config_.branchU};
@@ -76,6 +82,13 @@ OooCore::OooCore(const CoreConfig &config, Hierarchy &hierarchy,
         nextInterrupt_ = config_.interruptInterval;
 }
 
+const PerfCounters &
+OooCore::contextCounters(ContextId ctx) const
+{
+    panicIf(ctx >= ctxs_.size(), "OooCore: context out of range");
+    return ctxs_[ctx].counters;
+}
+
 OooCore::Snapshot
 OooCore::snapshot() const
 {
@@ -83,6 +96,9 @@ OooCore::snapshot() const
     snap.cycle = cycle_;
     snap.nextInterrupt = nextInterrupt_;
     snap.counters = counters_;
+    snap.ctxCounters.reserve(ctxs_.size());
+    for (const CtxState &c : ctxs_)
+        snap.ctxCounters.push_back(c.counters);
     snap.nextSeq = nextSeq_;
     snap.readyStamp = readyStamp_;
     for (int i = 0; i < 6; ++i)
@@ -96,6 +112,10 @@ OooCore::restore(const Snapshot &snap)
     cycle_ = snap.cycle;
     nextInterrupt_ = snap.nextInterrupt;
     counters_ = snap.counters;
+    panicIf(snap.ctxCounters.size() != ctxs_.size(),
+            "OooCore::restore: context count mismatch");
+    for (std::size_t i = 0; i < ctxs_.size(); ++i)
+        ctxs_[i].counters = snap.ctxCounters[i];
     nextSeq_ = snap.nextSeq;
     readyStamp_ = snap.readyStamp;
     for (int i = 0; i < 6; ++i)
@@ -103,19 +123,32 @@ OooCore::restore(const Snapshot &snap)
 
     // Drop any leftover pipeline state from a halted run so the core
     // is idle, exactly as it is right after a completed run.
-    for (auto &entry : rob_)
-        recycleEntry(std::move(entry));
-    rob_.clear();
+    resetPipeline();
+}
+
+void
+OooCore::resetPipeline()
+{
+    for (CtxState &c : ctxs_) {
+        for (auto &entry : c.rob)
+            recycleEntry(std::move(entry));
+        c.rob.clear();
+        c.renameTable.assign(c.renameTable.size(), nullptr);
+        c.program = nullptr;
+        c.active = false;
+        c.halted = false;
+        c.inflightStores = 0;
+        c.inflightBranches = 0;
+        c.robFullCounted = false;
+    }
     events_ = {};
     for (auto &q : readyQueue_)
         q = {};
     replayQueue_.clear();
-    renameTable_.assign(renameTable_.size(), nullptr);
-    halted_ = false;
     draining_ = false;
-    inflightStores_ = 0;
-    inflightBranches_ = 0;
     iqOccupancy_ = 0;
+    dispatchRotate_ = 0;
+    commitRotate_ = 0;
 }
 
 std::unique_ptr<OooCore::RobEntry>
@@ -148,31 +181,35 @@ OooCore::recycleEntry(std::unique_ptr<RobEntry> entry)
 }
 
 std::int64_t
-OooCore::srcValue(const RobEntry &entry, int slot) const
-{
-    return entry.srcVal[slot];
-}
-
-std::int64_t
 OooCore::computeAlu(const RobEntry &entry) const
 {
     const Instruction &inst = entry.inst;
     const std::int64_t v0 = entry.srcVal[0];
     const std::int64_t rhs =
         inst.src1 != kNoReg ? entry.srcVal[1] : inst.imm;
+    // Register arithmetic wraps (two's complement), like the hardware
+    // it models: compute in uint64 so the wraparound is well-defined
+    // (gadget op chains overflow constantly by design).
+    const auto u0 = static_cast<std::uint64_t>(v0);
+    const auto u1 = static_cast<std::uint64_t>(rhs);
     switch (inst.op) {
       case Opcode::MovImm: return inst.imm;
-      case Opcode::Add: return v0 + rhs;
-      case Opcode::Sub: return v0 - rhs;
-      case Opcode::Mul: return v0 * rhs;
-      case Opcode::Div: return rhs == 0 ? 0 : v0 / rhs;
+      case Opcode::Add: return static_cast<std::int64_t>(u0 + u1);
+      case Opcode::Sub: return static_cast<std::int64_t>(u0 - u1);
+      case Opcode::Mul: return static_cast<std::int64_t>(u0 * u1);
+      case Opcode::Div:
+        if (rhs == 0)
+            return 0;
+        if (v0 == std::numeric_limits<std::int64_t>::min() && rhs == -1)
+            return v0; // the one remaining overflow case wraps too
+        return v0 / rhs;
       case Opcode::And: return v0 & rhs;
       case Opcode::Or: return v0 | rhs;
       case Opcode::Xor: return v0 ^ rhs;
-      case Opcode::Shl: return v0 << (rhs & 63);
+      case Opcode::Shl:
+        return static_cast<std::int64_t>(u0 << (rhs & 63));
       case Opcode::Shr:
-        return static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(v0) >> (rhs & 63));
+        return static_cast<std::int64_t>(u0 >> (rhs & 63));
       case Opcode::Lea:
         return static_cast<std::int64_t>(computeEa(entry));
       case Opcode::Branch:
@@ -187,49 +224,72 @@ OooCore::computeAlu(const RobEntry &entry) const
 Addr
 OooCore::computeEa(const RobEntry &entry) const
 {
+    // Address arithmetic wraps modulo 2^64 (uint64), like computeAlu.
     const Instruction &inst = entry.inst;
-    std::int64_t ea = inst.imm;
+    std::uint64_t ea = static_cast<std::uint64_t>(inst.imm);
     if (inst.src0 != kNoReg)
-        ea += entry.srcVal[0] * inst.scale0;
+        ea += static_cast<std::uint64_t>(entry.srcVal[0]) *
+              static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(inst.scale0));
     if (inst.src1 != kNoReg)
-        ea += entry.srcVal[1] * inst.scale1;
+        ea += static_cast<std::uint64_t>(entry.srcVal[1]) *
+              static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(inst.scale1));
     return static_cast<Addr>(ea);
 }
 
 void
-OooCore::setupRun(const Program &program,
-                  const std::vector<std::pair<RegId, std::int64_t>>
-                      &initial_regs)
+OooCore::startContext(ContextId ctx, const Program &program,
+                      const std::vector<std::pair<RegId, std::int64_t>>
+                          &initial_regs)
 {
     fatalIf(program.id == 0,
             "OooCore::run: program has no id (run it via a Machine)");
-    program_ = &program;
+    panicIf(ctx >= ctxs_.size(), "OooCore: context out of range");
+    CtxState &c = ctxs_[ctx];
+    panicIf(c.active, "OooCore: context started twice");
+    c.program = &program;
+    c.active = true;
+    c.halted = false;
 
     const std::size_t nregs = std::max<std::size_t>(program.numRegs, 1);
-    regfile_.assign(nregs, 0);
+    c.regfile.assign(nregs, 0);
     for (const auto &[reg, value] : initial_regs) {
         fatalIf(reg >= nregs, "initial reg out of range");
-        regfile_[reg] = value;
+        c.regfile[reg] = value;
     }
-    renameTable_.assign(nregs, nullptr);
+    c.renameTable.assign(nregs, nullptr);
 
-    for (auto &entry : rob_)
-        recycleEntry(std::move(entry));
-    rob_.clear();
-    events_ = {};
-    for (auto &q : readyQueue_)
-        q = {};
-    replayQueue_.clear();
-    fetchPc_ = 0;
-    fetchStallUntil_ = cycle_;
-    halted_ = false;
-    draining_ = false;
-    inflightStores_ = 0;
-    inflightBranches_ = 0;
-    iqOccupancy_ = 0;
+    c.fetchPc = 0;
+    c.fetchStallUntil = cycle_;
+    c.inflightStores = 0;
+    c.inflightBranches = 0;
+    c.robFullCounted = false;
+}
 
-    if (config_.interruptInterval > 0 && nextInterrupt_ <= cycle_)
-        nextInterrupt_ = cycle_ + config_.interruptInterval;
+void
+OooCore::abortContext(CtxState &c)
+{
+    // A context abandoned mid-flight (a descheduled noisy neighbor,
+    // or a halted run's younger speculative leftovers): uncommitted
+    // work is dropped without counting as squashed — exactly as the
+    // single-context model dropped post-Halt leftovers — while
+    // committed effects and in-flight cache fills persist.
+    while (!c.rob.empty()) {
+        RobEntry &victim = *c.rob.back();
+        if (victim.status == Status::Waiting ||
+            victim.status == Status::Ready) {
+            --iqOccupancy_;
+        }
+        recycleEntry(std::move(c.rob.back()));
+        c.rob.pop_back();
+    }
+    c.renameTable.assign(c.renameTable.size(), nullptr);
+    c.program = nullptr;
+    c.active = false;
+    c.halted = false;
+    c.inflightStores = 0;
+    c.inflightBranches = 0;
 }
 
 void
@@ -288,36 +348,39 @@ OooCore::wakeConsumers(RobEntry &producer)
 void
 OooCore::resolveBranch(RobEntry &entry)
 {
+    CtxState &c = ctxOf(entry);
     const bool taken = entry.value != 0;
     const auto key =
-        BranchPredictor::makeKey(program_->id, entry.pc);
+        BranchPredictor::makeKey(c.program->id, entry.pc);
     predictor_.update(key, taken);
     if (taken != entry.predictedTaken) {
         ++counters_.mispredicts;
+        ++c.counters.mispredicts;
         const std::int32_t correct_pc =
             taken ? entry.inst.target : entry.pc + 1;
-        squashAfter(entry.seq, correct_pc);
+        squashAfter(c, entry.seq, correct_pc);
     }
 }
 
 void
-OooCore::squashAfter(std::uint64_t seq, std::int32_t new_pc)
+OooCore::squashAfter(CtxState &c, std::uint64_t seq, std::int32_t new_pc)
 {
-    while (!rob_.empty() && rob_.back()->seq > seq) {
-        RobEntry &victim = *rob_.back();
+    while (!c.rob.empty() && c.rob.back()->seq > seq) {
+        RobEntry &victim = *c.rob.back();
         ++counters_.squashedInstrs;
+        ++c.counters.squashedInstrs;
         if (victim.inst.op == Opcode::Store)
-            --inflightStores_;
+            --c.inflightStores;
         if (victim.inst.op == Opcode::Branch &&
             victim.status != Status::Completed) {
-            --inflightBranches_;
+            --c.inflightBranches;
         }
         if (victim.status == Status::Waiting ||
             victim.status == Status::Ready) {
             --iqOccupancy_;
         }
-        recycleEntry(std::move(rob_.back()));
-        rob_.pop_back();
+        recycleEntry(std::move(c.rob.back()));
+        c.rob.pop_back();
         // Events, ready-queue entries, and in-flight cache fills for the
         // squashed instruction are removed lazily (seq lookups fail) —
         // crucially, the cache fill itself still completes: transient
@@ -325,14 +388,14 @@ OooCore::squashAfter(std::uint64_t seq, std::int32_t new_pc)
     }
 
     // Rebuild the rename table from the surviving entries.
-    std::fill(renameTable_.begin(), renameTable_.end(), nullptr);
-    for (auto &entry : rob_) {
+    std::fill(c.renameTable.begin(), c.renameTable.end(), nullptr);
+    for (auto &entry : c.rob) {
         if (writesReg(entry->inst))
-            renameTable_[entry->inst.dst] = entry.get();
+            c.renameTable[entry->inst.dst] = entry.get();
     }
 
-    fetchPc_ = new_pc;
-    fetchStallUntil_ = cycle_ + config_.mispredictPenalty;
+    c.fetchPc = new_pc;
+    c.fetchStallUntil = cycle_ + config_.mispredictPenalty;
 }
 
 bool
@@ -350,7 +413,7 @@ OooCore::processCompletions()
         entry->status = Status::Completed;
         wakeConsumers(*entry);
         if (entry->inst.op == Opcode::Branch) {
-            --inflightBranches_;
+            --ctxOf(*entry).inflightBranches;
             resolveBranch(*entry);
         }
         work = true;
@@ -366,6 +429,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
         entry.eaValid = true;
     }
     const Opcode op = entry.inst.op;
+    CtxState &c = ctxOf(entry);
 
     if (op == Opcode::Store) {
         auto done = pools_[static_cast<int>(FuClass::MemWrite)]->tryIssue(
@@ -375,13 +439,16 @@ OooCore::tryIssueMemOp(RobEntry &entry)
         entry.value = entry.srcVal[2]; // store data travels in slot 2
         events_.push({*done, entry.seq, &entry});
         ++counters_.issuedByClass[static_cast<int>(FuClass::MemWrite)];
+        ++c.counters.issuedByClass[static_cast<int>(FuClass::MemWrite)];
         return true;
     }
 
-    // Loads must respect older stores (conservative disambiguation).
-    if (op == Opcode::Load && inflightStores_ > 0) {
+    // Loads must respect older stores of their own context
+    // (conservative disambiguation; contexts have no architectural
+    // ordering against each other).
+    if (op == Opcode::Load && c.inflightStores > 0) {
         const RobEntry *forward_from = nullptr;
-        for (const auto &older : rob_) {
+        for (const auto &older : c.rob) {
             if (older->seq >= entry.seq)
                 break;
             if (older->inst.op != Opcode::Store)
@@ -400,6 +467,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
             entry.value = forward_from->value;
             events_.push({cycle_ + 1, entry.seq, &entry});
             ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
+            ++c.counters.issuedByClass[static_cast<int>(FuClass::MemRead)];
             return true;
         }
     }
@@ -407,9 +475,9 @@ OooCore::tryIssueMemOp(RobEntry &entry)
     // Delay-on-miss: speculative loads (an unresolved older branch
     // exists) that would miss the L1 are held until non-speculative.
     if (config_.delayOnMiss && op == Opcode::Load &&
-        inflightBranches_ > 0) {
+        c.inflightBranches > 0) {
         bool older_branch = false;
-        for (const auto &other : rob_) {
+        for (const auto &other : c.rob) {
             if (other->seq >= entry.seq)
                 break;
             if (other->inst.op == Opcode::Branch &&
@@ -432,7 +500,8 @@ OooCore::tryIssueMemOp(RobEntry &entry)
 
     const AccessKind kind =
         op == Opcode::Prefetch ? AccessKind::Prefetch : AccessKind::Load;
-    const AccessOutcome outcome = hierarchy_.access(entry.ea, cycle_, kind);
+    const AccessOutcome outcome =
+        hierarchy_.access(entry.ea, cycle_, kind, entry.ctx);
     if (!outcome.accepted)
         return false; // out of MSHRs, retry
 
@@ -442,6 +511,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
         op == Opcode::Prefetch ? cycle_ + 1 : outcome.readyCycle;
     events_.push({done, entry.seq, &entry});
     ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
+    ++c.counters.issuedByClass[static_cast<int>(FuClass::MemRead)];
     return true;
 }
 
@@ -503,6 +573,7 @@ OooCore::issueStage()
             --iqOccupancy_;
             events_.push({*done, entry->seq, entry});
             ++counters_.issuedByClass[static_cast<int>(cls)];
+            ++ctxOf(*entry).counters.issuedByClass[static_cast<int>(cls)];
             ++issued;
             work = true;
         }
@@ -511,88 +582,146 @@ OooCore::issueStage()
 }
 
 bool
+OooCore::fetchOne(CtxState &c)
+{
+    const Instruction &inst = c.program->code[c.fetchPc];
+    auto entry = takeEntry();
+    entry->seq = nextSeq_++;
+    entry->pc = c.fetchPc;
+    entry->ctx = static_cast<ContextId>(&c - ctxs_.data());
+    entry->inst = inst;
+    entry->srcProducer[0] = kNoSeq;
+    entry->srcProducer[1] = kNoSeq;
+    entry->srcProducer[2] = kNoSeq;
+
+    // Next fetch pc (possibly speculative).
+    switch (inst.op) {
+      case Opcode::Branch: {
+        const auto key = BranchPredictor::makeKey(c.program->id,
+                                                  c.fetchPc);
+        entry->predictedTaken = predictor_.predict(key);
+        c.fetchPc = entry->predictedTaken ? inst.target : c.fetchPc + 1;
+        break;
+      }
+      case Opcode::Jump:
+        c.fetchPc = inst.target;
+        break;
+      case Opcode::Halt:
+        c.fetchPc =
+            static_cast<std::int32_t>(c.program->code.size());
+        break;
+      default:
+        ++c.fetchPc;
+    }
+
+    // Rename: capture sources. Stores read their data via slot 2.
+    RegId srcs[3] = {inst.src0, inst.src1, kNoReg};
+    if (inst.op == Opcode::Store)
+        srcs[2] = inst.dst;
+    for (int slot = 0; slot < 3; ++slot) {
+        const RegId reg = srcs[slot];
+        if (reg == kNoReg)
+            continue;
+        RobEntry *producer = c.renameTable[reg];
+        if (!producer) {
+            entry->srcVal[slot] = c.regfile[reg];
+        } else if (producer->status == Status::Completed) {
+            entry->srcVal[slot] = producer->value;
+        } else {
+            entry->srcProducer[slot] = producer->seq;
+            producer->consumers.emplace_back(entry.get(),
+                                             entry->seq);
+            ++entry->pendingSrcs;
+        }
+    }
+
+    if (writesReg(inst))
+        c.renameTable[inst.dst] = entry.get();
+    if (inst.op == Opcode::Store)
+        ++c.inflightStores;
+    if (inst.op == Opcode::Branch)
+        ++c.inflightBranches;
+
+    resolveEaIfReady(*entry);
+    if (entry->pendingSrcs == 0)
+        markReady(*entry);
+    ++iqOccupancy_;
+
+    c.rob.push_back(std::move(entry));
+    return true;
+}
+
+bool
 OooCore::dispatchStage()
 {
-    if (draining_ || cycle_ < fetchStallUntil_)
+    if (draining_)
         return false;
 
-    bool work = false;
-    const auto code_size =
-        static_cast<std::int32_t>(program_->code.size());
+    const int n = static_cast<int>(ctxs_.size());
 
-    for (int n = 0; n < config_.fetchWidth; ++n) {
-        if (fetchPc_ >= code_size)
-            break;
-        if (static_cast<int>(rob_.size()) >= config_.robSize) {
-            ++counters_.robFullStalls;
-            break;
+    // A context can dispatch when it has code left, is past any
+    // redirect stall, and finds room in its ROB partition and the
+    // shared issue queue. ROB-full counts one stall per context per
+    // dispatch opportunity, matching the single-context model.
+    auto can_fetch = [&](CtxState &c) {
+        if (!c.active || c.halted)
+            return false;
+        if (cycle_ < c.fetchStallUntil)
+            return false;
+        if (fetchExhausted(c))
+            return false;
+        if (static_cast<int>(c.rob.size()) >= robPartition_) {
+            if (!c.robFullCounted) {
+                c.robFullCounted = true;
+                ++counters_.robFullStalls;
+                ++c.counters.robFullStalls;
+            }
+            return false;
         }
         if (iqOccupancy_ >= config_.effectiveIqSize())
-            break;
+            return false;
+        return true;
+    };
 
-        const Instruction &inst = program_->code[fetchPc_];
-        auto entry = takeEntry();
-        entry->seq = nextSeq_++;
-        entry->pc = fetchPc_;
-        entry->inst = inst;
-        entry->srcProducer[0] = kNoSeq;
-        entry->srcProducer[1] = kNoSeq;
-        entry->srcProducer[2] = kNoSeq;
-
-        // Next fetch pc (possibly speculative).
-        switch (inst.op) {
-          case Opcode::Branch: {
-            const auto key = BranchPredictor::makeKey(program_->id,
-                                                      fetchPc_);
-            entry->predictedTaken = predictor_.predict(key);
-            fetchPc_ = entry->predictedTaken ? inst.target : fetchPc_ + 1;
-            break;
-          }
-          case Opcode::Jump:
-            fetchPc_ = inst.target;
-            break;
-          case Opcode::Halt:
-            fetchPc_ = code_size; // stop fetching
-            break;
-          default:
-            ++fetchPc_;
+    // Single-context fast path: the legacy dispatch loop, no
+    // arbitration arithmetic on the hot path.
+    if (n == 1) {
+        CtxState &c = ctxs_[0];
+        c.robFullCounted = false;
+        bool work = false;
+        for (int budget = config_.fetchWidth; budget > 0; --budget) {
+            if (!can_fetch(c))
+                break;
+            fetchOne(c);
+            work = true;
         }
+        return work;
+    }
 
-        // Rename: capture sources. Stores read their data via slot 2.
-        RegId srcs[3] = {inst.src0, inst.src1, kNoReg};
-        if (inst.op == Opcode::Store)
-            srcs[2] = inst.dst;
-        for (int slot = 0; slot < 3; ++slot) {
-            const RegId reg = srcs[slot];
-            if (reg == kNoReg)
+    for (CtxState &c : ctxs_)
+        c.robFullCounted = false;
+
+    // Shared fetch bandwidth, round-robin per instruction across the
+    // contexts; the rotation cursor advances every dispatch call so no
+    // context is structurally favoured.
+    bool work = false;
+    std::uint32_t rotate = dispatchRotate_++;
+    for (int budget = config_.fetchWidth; budget > 0; --budget) {
+        bool fetched = false;
+        for (int k = 0; k < n; ++k) {
+            CtxState &c =
+                ctxs_[(rotate + static_cast<std::uint32_t>(k)) %
+                      static_cast<std::uint32_t>(n)];
+            if (!can_fetch(c))
                 continue;
-            RobEntry *producer = renameTable_[reg];
-            if (!producer) {
-                entry->srcVal[slot] = regfile_[reg];
-            } else if (producer->status == Status::Completed) {
-                entry->srcVal[slot] = producer->value;
-            } else {
-                entry->srcProducer[slot] = producer->seq;
-                producer->consumers.emplace_back(entry.get(),
-                                                 entry->seq);
-                ++entry->pendingSrcs;
-            }
+            fetchOne(c);
+            rotate += static_cast<std::uint32_t>(k) + 1;
+            fetched = true;
+            work = true;
+            break;
         }
-
-        if (writesReg(inst))
-            renameTable_[inst.dst] = entry.get();
-        if (inst.op == Opcode::Store)
-            ++inflightStores_;
-        if (inst.op == Opcode::Branch)
-            ++inflightBranches_;
-
-        resolveEaIfReady(*entry);
-        if (entry->pendingSrcs == 0)
-            markReady(*entry);
-        ++iqOccupancy_;
-
-        rob_.push_back(std::move(entry));
-        work = true;
+        if (!fetched)
+            break;
     }
     return work;
 }
@@ -600,47 +729,77 @@ OooCore::dispatchStage()
 bool
 OooCore::commitStage()
 {
+    const int n = static_cast<int>(ctxs_.size());
+    int budget = config_.commitWidth;
     bool committed_any = false;
-    for (int n = 0; n < config_.commitWidth && !rob_.empty(); ++n) {
-        RobEntry &head = *rob_.front();
-        if (head.status != Status::Completed)
-            break;
 
-        const Instruction &inst = head.inst;
-        if (writesReg(inst)) {
-            regfile_[inst.dst] = head.value;
-            if (renameTable_[inst.dst] == &head)
-                renameTable_[inst.dst] = nullptr;
+    for (int k = 0; k < n && budget > 0; ++k) {
+        // n == 1 avoids the rotation arithmetic (the common case).
+        CtxState &c =
+            n == 1 ? ctxs_[0]
+                   : ctxs_[(commitRotate_ +
+                            static_cast<std::uint32_t>(k)) %
+                           static_cast<std::uint32_t>(n)];
+        if (!c.active)
+            continue;
+        bool committed_here = false;
+        while (budget > 0 && !c.rob.empty()) {
+            RobEntry &head = *c.rob.front();
+            if (head.status != Status::Completed)
+                break;
+
+            const Instruction &inst = head.inst;
+            if (writesReg(inst)) {
+                c.regfile[inst.dst] = head.value;
+                if (c.renameTable[inst.dst] == &head)
+                    c.renameTable[inst.dst] = nullptr;
+            }
+            switch (inst.op) {
+              case Opcode::Store:
+                memory_.write(head.ea, head.value);
+                hierarchy_.access(head.ea, cycle_, AccessKind::Store,
+                                  head.ctx);
+                --c.inflightStores;
+                ++counters_.committedStores;
+                ++c.counters.committedStores;
+                break;
+              case Opcode::Load:
+                ++counters_.committedLoads;
+                ++c.counters.committedLoads;
+                break;
+              case Opcode::Branch:
+              case Opcode::Jump:
+                ++counters_.branches;
+                ++c.counters.branches;
+                break;
+              case Opcode::Halt:
+                c.halted = true;
+                break;
+              default:
+                break;
+            }
+            ++counters_.committedInstrs;
+            ++c.counters.committedInstrs;
+            recycleEntry(std::move(c.rob.front()));
+            c.rob.pop_front();
+            --budget;
+            committed_here = true;
+            committed_any = true;
+            if (c.halted)
+                break;
         }
-        switch (inst.op) {
-          case Opcode::Store:
-            memory_.write(head.ea, head.value);
-            hierarchy_.access(head.ea, cycle_, AccessKind::Store);
-            --inflightStores_;
-            ++counters_.committedStores;
-            break;
-          case Opcode::Load:
-            ++counters_.committedLoads;
-            break;
-          case Opcode::Branch:
-          case Opcode::Jump:
-            ++counters_.branches;
-            break;
-          case Opcode::Halt:
-            halted_ = true;
-            break;
-          default:
-            break;
+        if (!committed_here && !c.rob.empty()) {
+            ++c.counters.noCommitCycles;
+            if (n == 1)
+                ++counters_.noCommitCycles;
         }
-        ++counters_.committedInstrs;
-        recycleEntry(std::move(rob_.front()));
-        rob_.pop_front();
-        committed_any = true;
-        if (halted_)
-            break;
     }
-    if (!committed_any && !rob_.empty())
-        ++counters_.noCommitCycles;
+    if (n > 1) {
+        commitRotate_ = static_cast<std::uint32_t>(
+            (commitRotate_ + 1) % static_cast<std::uint32_t>(n));
+        if (!committed_any && anyRobNonEmpty())
+            ++counters_.noCommitCycles;
+    }
     return committed_any;
 }
 
@@ -648,11 +807,18 @@ void
 OooCore::serviceInterrupt()
 {
     counters_.cycles += config_.interruptOverhead;
+    for (CtxState &c : ctxs_) {
+        if (!c.active)
+            continue;
+        c.counters.cycles += config_.interruptOverhead;
+        ++c.counters.interrupts;
+    }
     cycle_ += config_.interruptOverhead;
     ++counters_.interrupts;
     nextInterrupt_ = cycle_ + config_.interruptInterval;
     draining_ = false;
-    fetchStallUntil_ = std::max(fetchStallUntil_, cycle_);
+    for (CtxState &c : ctxs_)
+        c.fetchStallUntil = std::max(c.fetchStallUntil, cycle_);
 }
 
 Cycle
@@ -665,12 +831,44 @@ OooCore::nextWakeCycle() const
         if (auto fill = hierarchy_.nextFillCycle())
             next = std::min(next, *fill);
     }
-    const bool fetch_pending =
-        !draining_ &&
-        fetchPc_ < static_cast<std::int32_t>(program_->code.size());
-    if (fetch_pending && fetchStallUntil_ > cycle_)
-        next = std::min(next, fetchStallUntil_);
+    if (!draining_) {
+        for (const CtxState &c : ctxs_) {
+            const bool fetch_pending =
+                c.active && !c.halted && !fetchExhausted(c);
+            if (fetch_pending && c.fetchStallUntil > cycle_)
+                next = std::min(next, c.fetchStallUntil);
+        }
+    }
     return next;
+}
+
+void
+OooCore::advanceTime(Cycle target)
+{
+    const Cycle delta = target - cycle_;
+    if (ctxs_.size() == 1) {
+        // Hot path: the whole-core and per-context accounting agree.
+        CtxState &c = ctxs_[0];
+        if (!c.rob.empty()) {
+            counters_.noCommitCycles += delta - 1;
+            c.counters.noCommitCycles += delta - 1;
+        }
+        counters_.cycles += delta;
+        c.counters.cycles += delta;
+        cycle_ = target;
+        return;
+    }
+    if (anyRobNonEmpty())
+        counters_.noCommitCycles += delta - 1;
+    counters_.cycles += delta;
+    for (CtxState &c : ctxs_) {
+        if (!c.active)
+            continue;
+        if (!c.rob.empty())
+            c.counters.noCommitCycles += delta - 1;
+        c.counters.cycles += delta;
+    }
+    cycle_ = target;
 }
 
 RunResult
@@ -679,15 +877,55 @@ OooCore::run(const Program &program,
                  &initial_regs,
              Cycle max_cycles)
 {
-    setupRun(program, initial_regs);
+    return runOn(0, program, initial_regs, max_cycles);
+}
+
+RunResult
+OooCore::runOn(ContextId ctx, const Program &program,
+               const std::vector<std::pair<RegId, std::int64_t>>
+                   &initial_regs,
+               Cycle max_cycles)
+{
+    ContextProgram primary;
+    primary.ctx = ctx;
+    primary.program = &program;
+    primary.initialRegs = initial_regs;
+    return coRun(primary, {}, max_cycles);
+}
+
+RunResult
+OooCore::coRun(const ContextProgram &primary,
+               const std::vector<ContextProgram> &backgrounds,
+               Cycle max_cycles)
+{
+    panicIf(primary.program == nullptr, "coRun: no primary program");
+    resetPipeline();
+    startContext(primary.ctx, *primary.program, primary.initialRegs);
+    for (const ContextProgram &bg : backgrounds) {
+        fatalIf(bg.ctx == primary.ctx,
+                "coRun: background on the primary context");
+        panicIf(bg.program == nullptr, "coRun: no background program");
+        startContext(bg.ctx, *bg.program, bg.initialRegs);
+    }
+
+    if (config_.interruptInterval > 0 && nextInterrupt_ <= cycle_)
+        nextInterrupt_ = cycle_ + config_.interruptInterval;
+
+    return runLoop(primary.ctx, max_cycles);
+}
+
+RunResult
+OooCore::runLoop(ContextId primary, Cycle max_cycles)
+{
+    CtxState &prim = ctxs_[primary];
 
     RunResult result;
     result.startCycle = cycle_;
-    const PerfCounters before = counters_;
+    const PerfCounters before = prim.counters;
     const Cycle deadline = cycle_ + max_cycles;
 
     for (;;) {
-        if (draining_ && rob_.empty())
+        if (draining_ && allRobsEmpty())
             serviceInterrupt();
 
         bool work = false;
@@ -696,28 +934,45 @@ OooCore::run(const Program &program,
         work |= dispatchStage();
         work |= commitStage();
 
-        if (halted_)
+        if (prim.halted)
             break;
+
+        // A background context that ran its program to completion goes
+        // idle (stops accumulating busy cycles); one that committed a
+        // Halt is drained immediately so it stops holding IQ slots.
+        if (ctxs_.size() > 1) {
+            for (CtxState &c : ctxs_) {
+                if (&c == &prim || !c.active)
+                    continue;
+                if (ctxDone(c))
+                    abortContext(c);
+            }
+        }
 
         if (config_.interruptInterval > 0 && !draining_ &&
             cycle_ >= nextInterrupt_) {
             draining_ = true;
         }
 
-        const bool fetch_exhausted =
-            fetchPc_ >= static_cast<std::int32_t>(program.code.size());
-        if (rob_.empty() && fetch_exhausted && !draining_)
+        if (ctxDone(prim) && !draining_)
             break;
 
         // Advance time, skipping idle stretches.
         Cycle target = cycle_ + 1;
-        if (!work && !(draining_ && rob_.empty())) {
+        if (!work && !(draining_ && allRobsEmpty())) {
             const Cycle wake = nextWakeCycle();
             if (wake == ~Cycle{0}) {
-                if (rob_.empty() && !fetch_exhausted &&
-                    fetchStallUntil_ <= cycle_) {
+                bool fetch_ready = false;
+                for (const CtxState &c : ctxs_) {
+                    if (c.active && !c.halted && !fetchExhausted(c) &&
+                        c.fetchStallUntil <= cycle_) {
+                        fetch_ready = true;
+                        break;
+                    }
+                }
+                if (allRobsEmpty() && fetch_ready) {
                     // Fetch can proceed next cycle.
-                } else if (rob_.empty()) {
+                } else if (allRobsEmpty()) {
                     // Only a fetch stall remains; handled above via
                     // nextWakeCycle, so reaching here means done.
                 } else {
@@ -727,18 +982,23 @@ OooCore::run(const Program &program,
                 target = std::max(target, wake);
             }
         }
-        if (!rob_.empty())
-            counters_.noCommitCycles += target - cycle_ - 1;
-        counters_.cycles += target - cycle_;
-        cycle_ = target;
+        advanceTime(target);
 
         fatalIf(cycle_ > deadline, "OooCore::run: cycle limit exceeded");
     }
 
     hierarchy_.applyFillsUpTo(cycle_);
     result.endCycle = cycle_;
-    result.halted = halted_;
-    result.counters = counters_ - before;
+    result.halted = prim.halted;
+    result.counters = prim.counters - before;
+
+    // Deschedule whatever is still in flight: the primary's own
+    // leftover state (a halted run with younger speculative work) and
+    // any still-running background neighbors.
+    for (CtxState &c : ctxs_)
+        if (c.active)
+            abortContext(c);
+
     return result;
 }
 

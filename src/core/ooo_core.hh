@@ -1,6 +1,6 @@
 /**
  * @file
- * Cycle-level out-of-order core model.
+ * Cycle-level out-of-order core model with SMT-style hardware contexts.
  *
  * Models exactly the mechanisms Hacky Racers exploits:
  *  - instruction-level parallelism between data-independent paths;
@@ -10,7 +10,16 @@
  *  - functional units with latency and initiation-interval contention;
  *  - MSHR-limited memory-level parallelism;
  *  - periodic timer interrupts that drain the pipeline (the mechanism
- *    behind Fig. 12's saturation).
+ *    behind Fig. 12's saturation);
+ *  - N hardware execution contexts sharing the issue queue, functional
+ *    units, and memory hierarchy, with round-robin fetch/dispatch and
+ *    commit arbitration and statically partitioned ROB capacity — the
+ *    environment the paper's contention timing sources and
+ *    noisy-neighbor sweeps run in.
+ *
+ * A single-context core (the default) behaves bit-identically to the
+ * pre-multi-context model: every arbitration loop degenerates to the
+ * legacy single-stream order.
  *
  * The cycle loop is event-skipping: idle stretches (e.g. a 200-cycle
  * memory stall) are jumped over, so cost scales with instruction count.
@@ -45,7 +54,8 @@ struct CoreConfig
     /**
      * Issue-queue (scheduler) capacity. 0 means "same as robSize" —
      * the model's default simplification; set explicitly to study
-     * scheduler-bound behaviour.
+     * scheduler-bound behaviour. The IQ is shared between hardware
+     * contexts (the ROB is partitioned).
      */
     int iqSize = 0;
 
@@ -109,9 +119,23 @@ struct RunResult
     Cycle startCycle = 0;
     Cycle endCycle = 0;
     bool halted = false;
-    PerfCounters counters; ///< delta for this run
+    /**
+     * Counter delta attributed to the executed program's own context.
+     * For a single-context run this equals the whole-core delta; in a
+     * co-run it excludes the co-runners' work (cycles still measure
+     * elapsed core time).
+     */
+    PerfCounters counters;
 
     Cycle cycles() const { return endCycle - startCycle; }
+};
+
+/** One (context, program) pairing handed to OooCore::coRun. */
+struct ContextProgram
+{
+    ContextId ctx = 0;
+    const Program *program = nullptr;
+    std::vector<std::pair<RegId, std::int64_t>> initialRegs;
 };
 
 /**
@@ -124,21 +148,24 @@ class OooCore
 {
   public:
     OooCore(const CoreConfig &config, Hierarchy &hierarchy,
-            MemoryImage &memory, BranchPredictor &predictor);
+            MemoryImage &memory, BranchPredictor &predictor,
+            int contexts = 1);
 
     /**
      * The core state that persists across run() calls: global time,
-     * cumulative counters, the instruction sequence stream, and
-     * functional-unit reservations (which can extend past a run's
-     * end). Per-run pipeline state (ROB, queues) is rebuilt by
-     * setupRun and never needs capturing — snapshots are taken
-     * between runs by construction (run() is synchronous).
+     * cumulative whole-core and per-context counters, the instruction
+     * sequence stream, and functional-unit reservations (which can
+     * extend past a run's end). Per-run pipeline state (ROBs, queues)
+     * is rebuilt by the run entry points and never needs capturing —
+     * snapshots are taken between runs by construction (run() and
+     * coRun() are synchronous).
      */
     struct Snapshot
     {
         Cycle cycle = 0;
         Cycle nextInterrupt = 0;
         PerfCounters counters;
+        std::vector<PerfCounters> ctxCounters;
         std::uint64_t nextSeq = 0;
         std::uint64_t readyStamp = 0;
         std::vector<Cycle> reservations[6];
@@ -149,14 +176,24 @@ class OooCore
 
     const CoreConfig &config() const { return config_; }
 
+    /** Number of hardware contexts. */
+    int contexts() const { return static_cast<int>(ctxs_.size()); }
+
+    /** ROB entries statically reserved for each context. */
+    int robPartition() const { return robPartition_; }
+
     /** Global cycle counter (monotonic across runs). */
     Cycle cycle() const { return cycle_; }
 
-    /** Cumulative counters (monotonic across runs). */
+    /** Cumulative whole-core counters (monotonic across runs). */
     const PerfCounters &counters() const { return counters_; }
 
+    /** Cumulative counters attributed to one context. */
+    const PerfCounters &contextCounters(ContextId ctx) const;
+
     /**
-     * Execute a program to completion (Halt commit or natural end).
+     * Execute a program to completion (Halt commit or natural end) on
+     * context 0, with every other context idle.
      *
      * @param program   code to run (program.id must be assigned)
      * @param initial_regs  values for registers before the first
@@ -168,6 +205,26 @@ class OooCore
                       &initial_regs = {},
                   Cycle max_cycles = 500'000'000);
 
+    /** run() on an arbitrary context (the others stay idle). */
+    RunResult runOn(ContextId ctx, const Program &program,
+                    const std::vector<std::pair<RegId, std::int64_t>>
+                        &initial_regs = {},
+                    Cycle max_cycles = 500'000'000);
+
+    /**
+     * Co-run: execute @p primary together with @p backgrounds, each on
+     * its own hardware context, interleaved deterministically through
+     * the shared pipeline. Runs until the primary program completes;
+     * background contexts are then abandoned mid-flight (their
+     * committed architectural effects and any in-flight cache fills
+     * persist — a descheduled noisy neighbor, not a rollback).
+     * Background programs that finish early simply leave their context
+     * idle. Returns the primary's per-context result.
+     */
+    RunResult coRun(const ContextProgram &primary,
+                    const std::vector<ContextProgram> &backgrounds,
+                    Cycle max_cycles = 500'000'000);
+
   private:
     enum class Status : std::uint8_t { Waiting, Ready, Issued, Completed };
 
@@ -175,6 +232,7 @@ class OooCore
     {
         std::uint64_t seq = 0;
         std::int32_t pc = 0;
+        ContextId ctx = 0;
         Instruction inst;
         Status status = Status::Waiting;
         int pendingSrcs = 0;
@@ -209,6 +267,35 @@ class OooCore
         }
     };
 
+    /**
+     * Architectural and pipeline-front-end state of one hardware
+     * context. The cumulative counters persist across runs (and are
+     * snapshotted); everything else is per-run and rebuilt by
+     * startContext.
+     */
+    struct CtxState
+    {
+        PerfCounters counters; ///< cumulative, persists across runs
+
+        // --- per-run state ---
+        const Program *program = nullptr;
+        bool active = false; ///< started and not yet finished/aborted
+        bool halted = false;
+        std::vector<std::int64_t> regfile;
+        std::vector<RobEntry *> renameTable;
+        /**
+         * This context's reorder-buffer partition. Entries hold an
+         * increasing (globally interleaved) seq sequence: dispatch
+         * appends, commit pops the front, squash pops the back.
+         */
+        std::deque<std::unique_ptr<RobEntry>> rob;
+        std::int32_t fetchPc = 0;
+        Cycle fetchStallUntil = 0;
+        int inflightStores = 0;
+        int inflightBranches = 0;
+        bool robFullCounted = false; ///< per-dispatch-call stall latch
+    };
+
     // --- configuration and borrowed machine state ---
     CoreConfig config_;
     Hierarchy &hierarchy_;
@@ -220,17 +307,9 @@ class OooCore
     Cycle nextInterrupt_ = 0;
     PerfCounters counters_;
 
-    // --- per-run state ---
-    const Program *program_ = nullptr;
-    std::vector<std::int64_t> regfile_;
-    std::vector<RobEntry *> renameTable_;
-    /**
-     * Reorder buffer. Entries always hold a contiguous seq range
-     * (dispatch appends nextSeq_++, commit pops the front, squash pops
-     * the back), so seq -> entry lookup is an index computation — no
-     * hash map on the wakeup path.
-     */
-    std::deque<std::unique_ptr<RobEntry>> rob_;
+    // --- shared pipeline state ---
+    std::vector<CtxState> ctxs_;
+    int robPartition_ = 0; ///< robSize / contexts
     /** Recycled RobEntry storage (bounded by robSize). */
     std::vector<std::unique_ptr<RobEntry>> entryPool_;
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
@@ -257,14 +336,11 @@ class OooCore
     FuncUnitPool *pools_[6] = {};
     std::unique_ptr<FuncUnitPool> poolStorage_[6];
     std::uint64_t nextSeq_ = 0;
-    std::int32_t fetchPc_ = 0;
-    Cycle fetchStallUntil_ = 0;
-    bool fetchDone_ = false;
-    bool halted_ = false;
     bool draining_ = false;
-    int inflightStores_ = 0;
-    int inflightBranches_ = 0;
     int iqOccupancy_ = 0;
+    /** Round-robin arbitration cursors (reset at each run start). */
+    std::uint32_t dispatchRotate_ = 0;
+    std::uint32_t commitRotate_ = 0;
 
     // --- pipeline stages (each returns true if it did work) ---
     bool processCompletions();
@@ -274,21 +350,50 @@ class OooCore
     void serviceInterrupt();
 
     // --- helpers ---
+    CtxState &ctxOf(const RobEntry &entry) { return ctxs_[entry.ctx]; }
+
+    bool
+    allRobsEmpty() const
+    {
+        for (const CtxState &c : ctxs_)
+            if (!c.rob.empty())
+                return false;
+        return true;
+    }
+
+    bool anyRobNonEmpty() const { return !allRobsEmpty(); }
+
+    bool
+    fetchExhausted(const CtxState &c) const
+    {
+        return c.program == nullptr ||
+               c.fetchPc >=
+                   static_cast<std::int32_t>(c.program->code.size());
+    }
+
+    bool
+    ctxDone(const CtxState &c) const
+    {
+        return c.halted || (c.rob.empty() && fetchExhausted(c));
+    }
     std::unique_ptr<RobEntry> takeEntry();
     void recycleEntry(std::unique_ptr<RobEntry> entry);
     void markReady(RobEntry &entry);
     void resolveEaIfReady(RobEntry &entry);
     void wakeConsumers(RobEntry &producer);
-    void completeEntry(RobEntry &entry, std::int64_t value);
     void resolveBranch(RobEntry &entry);
-    void squashAfter(std::uint64_t seq, std::int32_t new_pc);
+    void squashAfter(CtxState &c, std::uint64_t seq, std::int32_t new_pc);
     bool tryIssueMemOp(RobEntry &entry);
+    bool fetchOne(CtxState &c);
     std::int64_t computeAlu(const RobEntry &entry) const;
     Addr computeEa(const RobEntry &entry) const;
-    std::int64_t srcValue(const RobEntry &entry, int slot) const;
-    void setupRun(const Program &program,
-                  const std::vector<std::pair<RegId, std::int64_t>>
-                      &initial_regs);
+    void resetPipeline();
+    void startContext(ContextId ctx, const Program &program,
+                      const std::vector<std::pair<RegId, std::int64_t>>
+                          &initial_regs);
+    void abortContext(CtxState &c);
+    void advanceTime(Cycle target);
+    RunResult runLoop(ContextId primary, Cycle max_cycles);
     Cycle nextWakeCycle() const;
 };
 

@@ -37,11 +37,15 @@ Detector::featuresOf(const RunResult &result, std::uint64_t l1_misses)
 DetectorFeatures
 Detector::profile(Machine &machine, Program &program)
 {
-    const std::uint64_t misses_before =
-        machine.hierarchy().l1().stats().misses;
+    // Per-context attribution: on a solo machine this equals the
+    // global L1 delta, and under a noisy co-run it isolates the
+    // profiled workload's own misses — a per-thread counter, which is
+    // what a real per-process monitor reads.
+    const ContextAccessStats before =
+        machine.hierarchy().contextStats(0);
     RunResult result = machine.run(program);
     const std::uint64_t misses =
-        machine.hierarchy().l1().stats().misses - misses_before;
+        (machine.hierarchy().contextStats(0) - before).misses;
     return featuresOf(result, misses);
 }
 

@@ -6,11 +6,18 @@
  * Construction of a Machine allocates per-set replacement state for
  * every cache level (thousands of sets), which dominates short trials.
  * A pool builds each machine once, applies an optional warmup
- * (cache/predictor training, gadget calibration), snapshots it, and
- * hands out leases that start from a bit-identical restore of that
- * base state. Because every lease observes exactly the state a fresh
+ * (cache/predictor training, gadget calibration, background-noise
+ * installation via Machine::setBackground), snapshots it, and hands
+ * out leases that start from a bit-identical restore of that base
+ * state. Because every lease observes exactly the state a fresh
  * warmed machine would, trial results are byte-identical to the
  * construct-per-trial path at any worker count.
+ *
+ * Multi-context machines are covered in full: the base snapshot spans
+ * every hardware context's counters, cache attribution, and jitter
+ * streams, and backgrounds registered by the warmup persist across
+ * leases (they are machine configuration, not rolled-back state) —
+ * so noisy-neighbor trials lease and replay bit-identically.
  *
  * Leases are thread-safe to take from parallelMap workers; a lease
  * must not outlive its pool.

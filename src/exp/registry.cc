@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/log.hh"
+#include "util/params.hh"
 
 namespace hr
 {
@@ -44,9 +45,17 @@ ScenarioRegistry::resolve(const std::string &name) const
         return *matches.front();
     if (matches.empty()) {
         std::string known;
-        for (Scenario *scenario : all())
+        std::vector<std::string> names;
+        for (Scenario *scenario : all()) {
             known += "\n  " + scenario->name();
-        fatal("no scenario matches '" + name + "'; known:" + known);
+            names.push_back(scenario->name());
+        }
+        const std::string suggestion = closestMatch(name, names);
+        fatal("no scenario matches '" + name + "'" +
+              (suggestion.empty()
+                   ? ""
+                   : "; did you mean '" + suggestion + "'?") +
+              "; known:" + known);
     }
     std::string candidates;
     for (Scenario *scenario : matches)

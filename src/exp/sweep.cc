@@ -112,6 +112,22 @@ runSweep(const SweepOptions &options)
     // Validate the profile up front (fatal with the known names).
     machineConfigForProfile(options.profile);
 
+    // Validate grid-axis and fixed parameter keys before expanding
+    // anything: a typo'd `--grid` key fails here with the gadget's
+    // valid keys and a nearest-match suggestion instead of producing a
+    // sweep full of per-point errors.
+    const std::vector<std::string> allowed_keys =
+        GadgetRegistry::paramKeys(gadget);
+    options.params.requireKeys(allowed_keys,
+                               "gadget '" + gadget.name + "'");
+    {
+        ParamSet axis_keys;
+        for (const SweepAxis &axis : options.grid)
+            axis_keys.set(axis.key, "");
+        axis_keys.requireKeys(allowed_keys,
+                              "--grid: gadget '" + gadget.name + "'");
+    }
+
     // Expand the cartesian grid, last axis fastest.
     constexpr long long kMaxPoints = 1'000'000;
     long long total = 1;
@@ -180,27 +196,15 @@ runSweep(const SweepOptions &options)
                     return row;
                 }
                 source->calibrate(machine);
-                double fast_sum = 0, slow_sum = 0;
-                int correct = 0;
-                for (int t = 0; t < options.trials; ++t) {
-                    for (bool secret : {false, true}) {
-                        const TimingSample s =
-                            source->sample(machine, secret);
-                        (secret ? slow_sum : fast_sum) +=
-                            static_cast<double>(s.cycles);
-                        correct += s.bit == secret ? 1 : 0;
-                    }
-                }
-                const double trials =
-                    static_cast<double>(options.trials);
-                row.fastCycles = fast_sum / trials;
-                row.slowCycles = slow_sum / trials;
+                const PolarityStats stats = measurePolarities(
+                    *source, machine, options.trials);
+                row.fastCycles = stats.fastCycles;
+                row.slowCycles = stats.slowCycles;
                 row.deltaUs = machine.toUs(static_cast<Cycle>(
                     row.slowCycles > row.fastCycles
                         ? row.slowCycles - row.fastCycles
                         : 0));
-                row.accuracy =
-                    static_cast<double>(correct) / (2.0 * trials);
+                row.accuracy = stats.accuracy();
             } catch (const std::exception &e) {
                 row.status = std::string("error: ") + e.what();
             }

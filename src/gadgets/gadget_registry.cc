@@ -54,14 +54,41 @@ GadgetRegistry::resolve(const std::string &name) const
     if (matches.size() == 1)
         return *matches.front();
     std::string known;
+    std::vector<std::string> names;
     for (const GadgetInfo *gadget :
          matches.empty() ? all() : matches) {
         known += (known.empty() ? "" : ", ") + gadget->name;
+        names.push_back(gadget->name);
     }
-    fatal(matches.empty()
-              ? "unknown gadget '" + name + "' (known: " + known + ")"
-              : "ambiguous gadget prefix '" + name + "' (matches: " +
-                    known + ")");
+    if (matches.empty()) {
+        const std::string suggestion = closestMatch(name, names);
+        fatal("unknown gadget '" + name + "'" +
+              (suggestion.empty()
+                   ? ""
+                   : " (did you mean '" + suggestion + "'?)") +
+              " (known: " + known + ")");
+    }
+    fatal("ambiguous gadget prefix '" + name + "' (matches: " + known +
+          ")");
+}
+
+std::vector<std::string>
+GadgetRegistry::paramKeys(const GadgetInfo &info)
+{
+    std::vector<std::string> keys;
+    std::size_t start = 0;
+    while (start <= info.params.size()) {
+        const auto comma = info.params.find(',', start);
+        const std::string key = info.params.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!key.empty())
+            keys.push_back(key);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return keys;
 }
 
 std::unique_ptr<TimingSource>
@@ -69,30 +96,9 @@ GadgetRegistry::make(const std::string &name, const ParamSet &params) const
 {
     const GadgetInfo &info = resolve(name);
     // Reject keys the gadget does not declare: a typo'd parameter
-    // must not silently configure nothing.
-    for (const auto &[key, value] : params.entries()) {
-        (void)value;
-        bool known = false;
-        std::size_t start = 0;
-        while (start <= info.params.size()) {
-            const auto comma = info.params.find(',', start);
-            const std::string declared = info.params.substr(
-                start, comma == std::string::npos ? std::string::npos
-                                                  : comma - start);
-            if (declared == key) {
-                known = true;
-                break;
-            }
-            if (comma == std::string::npos)
-                break;
-            start = comma + 1;
-        }
-        fatalIf(!known, "gadget '" + info.name + "' has no parameter '" +
-                            key + "' (parameters: " +
-                            (info.params.empty() ? "none"
-                                                 : info.params) +
-                            ")");
-    }
+    // must not silently configure nothing. The error lists the valid
+    // keys and suggests the nearest match.
+    params.requireKeys(paramKeys(info), "gadget '" + info.name + "'");
     std::unique_ptr<TimingSource> source = info.factory();
     source->configure(params);
     return source;

@@ -70,6 +70,9 @@ class GadgetRegistry
     /** All registered gadgets, sorted by name. */
     std::vector<const GadgetInfo *> all() const;
 
+    /** A gadget's documented parameter keys (split from info.params). */
+    static std::vector<std::string> paramKeys(const GadgetInfo &info);
+
   private:
     std::vector<GadgetInfo> gadgets_;
 };

@@ -1342,6 +1342,345 @@ Pipeline::clone() const
 }
 
 // ---------------------------------------------------------------------
+// smt_contention: SMT port-pressure progress timer. Instead of reading
+// any clock, the attacker co-runs a counting thread on a sibling
+// hardware context; how far the counter progressed while the measured
+// work ran IS the time reading. Needs contexts >= 2.
+// ---------------------------------------------------------------------
+
+class SmtContentionSource final : public TimingSource
+{
+  public:
+    std::string name() const override { return "smt_contention"; }
+
+    std::string
+    describe() const override
+    {
+        return "SMT port-pressure timer: a sibling context's counting "
+               "progress measures the primary's duration — no clock "
+               "API at all";
+    }
+
+    void
+    configure(const ParamSet &params) override
+    {
+        cfg_.targetOp = opcodeParam(params, "op", cfg_.targetOp);
+        cfg_.slowOps =
+            static_cast<int>(params.getInt("slow_ops", cfg_.slowOps));
+        cfg_.fastOps =
+            static_cast<int>(params.getInt("fast_ops", cfg_.fastOps));
+        cfg_.counterUnroll = static_cast<int>(
+            params.getInt("counter_unroll", cfg_.counterUnroll));
+        fatalIf(cfg_.counterUnroll < 1, "counter_unroll must be >= 1");
+        measured_[0].reset();
+        measured_[1].reset();
+        counter_.reset();
+        calibrated_ = false;
+    }
+
+    bool
+    compatible(const Machine &machine) const override
+    {
+        return machine.contexts() >= 2;
+    }
+
+    void
+    calibrate(Machine &machine) override
+    {
+        ensure(machine);
+        calibration_ = calibrateThreshold(
+            [&](bool slow) { return observeCount(machine, slow); },
+            "smt_contention::calibrate");
+        calibrated_ = true;
+        calibratedSerial_ = machine.serial();
+    }
+
+    TimingSample
+    sample(Machine &machine, bool secret) override
+    {
+        ensure(machine);
+        const Cycle t0 = machine.now();
+        const double count = observeCount(machine, secret);
+        TimingSample s;
+        s.cycles = machine.now() - t0;
+        s.ns = count; // the attacker's only reading is the count
+        s.aux.emplace_back("count", count);
+        s.bit = calibrated_ && calibratedSerial_ == machine.serial() &&
+                calibration_.isSlow(count);
+        return s;
+    }
+
+    std::unique_ptr<TimingSource>
+    clone() const override
+    {
+        auto copy = std::make_unique<SmtContentionSource>();
+        copy->cfg_ = cfg_;
+        return copy;
+    }
+
+  private:
+    struct Config
+    {
+        Opcode targetOp = Opcode::Mul;
+        int slowOps = 48;
+        int fastOps = 16;
+        int counterUnroll = 8;
+    };
+
+    Config cfg_;
+    MachineBinding binding_;
+    std::unique_ptr<Program> measured_[2]; ///< [fast, slow]
+    std::unique_ptr<Program> counter_;
+    Calibration calibration_;
+    bool calibrated_ = false;
+    std::uint64_t calibratedSerial_ = 0;
+
+    void
+    ensure(Machine &machine)
+    {
+        fatalIf(machine.contexts() < 2,
+                "smt_contention needs a machine with >= 2 contexts "
+                "(use an smt profile)");
+        if (!binding_.rebind(machine) && counter_)
+            return;
+        for (int slow = 0; slow < 2; ++slow) {
+            ProgramBuilder builder(slow ? "smt_measured_slow"
+                                        : "smt_measured_fast");
+            RegId r = builder.movImm(3);
+            builder.opChain(cfg_.targetOp,
+                            static_cast<std::size_t>(
+                                slow ? cfg_.slowOps : cfg_.fastOps),
+                            r, 1);
+            builder.halt();
+            measured_[slow] =
+                std::make_unique<Program>(builder.take());
+        }
+        // The counter: an endless dependent chain on the same
+        // functional-unit class, so its progress rate is set by the
+        // shared port the measured chain also occupies.
+        ProgramBuilder builder("smt_counter");
+        RegId r = builder.movImm(1);
+        const std::int32_t loop = builder.newLabel();
+        builder.bind(loop);
+        for (int i = 0; i < cfg_.counterUnroll; ++i)
+            builder.chainOpImm(cfg_.targetOp, r, 1);
+        builder.jump(loop);
+        counter_ = std::make_unique<Program>(builder.take());
+        calibrated_ = false;
+    }
+
+    double
+    observeCount(Machine &machine, bool slow)
+    {
+        const ContextId counter_ctx =
+            static_cast<ContextId>(machine.contexts() - 1);
+        const PerfCounters before =
+            machine.core().contextCounters(counter_ctx);
+        machine.coRun(0, *measured_[slow ? 1 : 0],
+                      {{counter_ctx, counter_.get()}});
+        const PerfCounters after =
+            machine.core().contextCounters(counter_ctx);
+        return static_cast<double>(
+            (after - before).committedInstrs);
+    }
+};
+
+// ---------------------------------------------------------------------
+// l1_contention: L1 set-occupancy timer. A sibling context keeps one
+// L1 set resident and counts its own (attributed) misses; the primary
+// either evicts that set or leaves it alone, so the sibling's miss
+// count reads out the secret. Needs contexts >= 2.
+// ---------------------------------------------------------------------
+
+class L1ContentionSource final : public TimingSource
+{
+  public:
+    std::string name() const override { return "l1_contention"; }
+
+    std::string
+    describe() const override
+    {
+        return "L1 occupancy timer: a sibling context's attributed "
+               "miss count over one co-run reads whether the primary "
+               "touched the shared set";
+    }
+
+    void
+    configure(const ParamSet &params) override
+    {
+        cfg_.set = static_cast<int>(params.getInt("set", cfg_.set));
+        cfg_.evictLines = static_cast<int>(
+            params.getInt("evict_lines", cfg_.evictLines));
+        cfg_.repeats =
+            static_cast<int>(params.getInt("repeats", cfg_.repeats));
+        cfg_.windowOps = static_cast<int>(
+            params.getInt("window_ops", cfg_.windowOps));
+        fatalIf(cfg_.repeats < 1, "repeats must be >= 1");
+        fatalIf(cfg_.evictLines < 0,
+                "evict_lines must be >= 0 (0 = L1 associativity)");
+        primary_[0].reset();
+        primary_[1].reset();
+        probe_.reset();
+        calibrated_ = false;
+    }
+
+    bool
+    compatible(const Machine &machine) const override
+    {
+        const auto &l1 = machine.hierarchy().l1().config();
+        return machine.contexts() >= 2 && cfg_.set < l1.numSets;
+    }
+
+    void
+    calibrate(Machine &machine) override
+    {
+        ensure(machine);
+        calibration_ = calibrateThreshold(
+            [&](bool slow) { return observeMisses(machine, slow); },
+            "l1_contention::calibrate");
+        calibrated_ = true;
+        calibratedSerial_ = machine.serial();
+    }
+
+    TimingSample
+    sample(Machine &machine, bool secret) override
+    {
+        ensure(machine);
+        const Cycle t0 = machine.now();
+        const double misses = observeMisses(machine, secret);
+        TimingSample s;
+        s.cycles = machine.now() - t0;
+        s.ns = misses; // the attacker's reading is the miss count
+        s.aux.emplace_back("count", misses);
+        s.bit = calibrated_ && calibratedSerial_ == machine.serial() &&
+                calibration_.isSlow(misses);
+        return s;
+    }
+
+    std::unique_ptr<TimingSource>
+    clone() const override
+    {
+        auto copy = std::make_unique<L1ContentionSource>();
+        copy->cfg_ = cfg_;
+        return copy;
+    }
+
+  private:
+    struct Config
+    {
+        int set = 5;
+        int evictLines = 0; ///< 0 = the L1's associativity
+        int repeats = 4;
+        int windowOps = 200;
+    };
+
+    Config cfg_;
+    MachineBinding binding_;
+    std::unique_ptr<Program> primary_[2]; ///< [fast, slow]
+    std::unique_ptr<Program> probe_;
+    Calibration calibration_;
+    bool calibrated_ = false;
+    std::uint64_t calibratedSerial_ = 0;
+
+    /** Line address of (set, tag) in the machine's L1 geometry. */
+    static Addr
+    lineFor(const Machine &machine, int set, int tag)
+    {
+        const auto &l1 = machine.hierarchy().l1().config();
+        return (static_cast<Addr>(tag) *
+                    static_cast<Addr>(l1.numSets) +
+                static_cast<Addr>(set)) *
+               static_cast<Addr>(l1.lineBytes);
+    }
+
+    void
+    ensure(Machine &machine)
+    {
+        fatalIf(machine.contexts() < 2,
+                "l1_contention needs a machine with >= 2 contexts "
+                "(use an smt profile)");
+        const auto &l1 = machine.hierarchy().l1().config();
+        fatalIf(cfg_.set >= l1.numSets,
+                "l1_contention: set out of range for this L1");
+        if (!binding_.rebind(machine) && probe_)
+            return;
+        const int evict =
+            cfg_.evictLines > 0 ? cfg_.evictLines : l1.assoc;
+
+        // The probe: endlessly re-touch the target set `assoc` deep;
+        // all hits while the set is undisturbed, misses after the
+        // primary evicts it.
+        {
+            ProgramBuilder builder("l1_probe");
+            RegId r = builder.movImm(0);
+            const std::int32_t loop = builder.newLabel();
+            builder.bind(loop);
+            for (int way = 0; way < l1.assoc; ++way)
+                builder.loadOrderedInto(
+                    r, lineFor(machine, cfg_.set, 100 + way));
+            builder.jump(loop);
+            probe_ = std::make_unique<Program>(builder.take());
+        }
+
+        // Primary variants: identical shape, but the slow one walks
+        // conflicting tags in the probe's set while the fast one walks
+        // a neighboring set. window_ops of ALU padding per repeat give
+        // the probe time to observe the damage.
+        for (int slow = 0; slow < 2; ++slow) {
+            ProgramBuilder builder(slow ? "l1_evict_slow"
+                                        : "l1_evict_fast");
+            RegId r = builder.movImm(0);
+            RegId pad = builder.movImm(1);
+            const int set =
+                slow ? cfg_.set : (cfg_.set + 1) % l1.numSets;
+            for (int rep = 0; rep < cfg_.repeats; ++rep) {
+                for (int i = 0; i < evict; ++i)
+                    builder.loadOrderedInto(
+                        r, lineFor(machine, set, 300 + i));
+                builder.opChain(Opcode::Add,
+                                static_cast<std::size_t>(cfg_.windowOps),
+                                pad, 1);
+            }
+            builder.halt();
+            primary_[slow] = std::make_unique<Program>(builder.take());
+        }
+
+        // First-touch warmup: stage every evictor line in the L2 so
+        // the first observation's primary runs at the same speed as
+        // every later one (otherwise its cold DRAM misses stretch the
+        // window and the probe double-counts during calibration).
+        for (int slow = 0; slow < 2; ++slow) {
+            const int set =
+                slow ? cfg_.set : (cfg_.set + 1) % l1.numSets;
+            for (int i = 0; i < evict; ++i)
+                machine.warm(lineFor(machine, set, 300 + i), 2);
+        }
+        calibrated_ = false;
+    }
+
+    double
+    observeMisses(Machine &machine, bool slow)
+    {
+        const ContextId probe_ctx =
+            static_cast<ContextId>(machine.contexts() - 1);
+        // Start each observation with the probe's set resident, so a
+        // previous slow observation's evictions cannot bleed into this
+        // reading (the real attacker's probe loop has warmed the set
+        // long before the measured window opens).
+        const int assoc = machine.hierarchy().l1().config().assoc;
+        for (int way = 0; way < assoc; ++way)
+            machine.warm(lineFor(machine, cfg_.set, 100 + way), 1);
+        const ContextAccessStats before =
+            machine.hierarchy().contextStats(probe_ctx);
+        machine.coRun(0, *primary_[slow ? 1 : 0],
+                      {{probe_ctx, probe_.get()}});
+        const ContextAccessStats after =
+            machine.hierarchy().contextStats(probe_ctx);
+        return static_cast<double>((after - before).misses);
+    }
+};
+
+// ---------------------------------------------------------------------
 // Registration.
 // ---------------------------------------------------------------------
 
@@ -1404,6 +1743,16 @@ registerBuiltinSources(GadgetRegistry &registry)
         "resolution_ns,jitter_ns,op,slow_ops,fast_ops",
         "the bare quantized browser clock (the threat-model baseline)",
         [] { return std::make_unique<CoarseTimerSource>(); });
+    add("smt_contention", "timer",
+        "op,slow_ops,fast_ops,counter_unroll",
+        "SMT port-pressure timer: sibling-context counting progress as "
+        "the clock (needs an smt profile)",
+        [] { return std::make_unique<SmtContentionSource>(); });
+    add("l1_contention", "timer",
+        "set,evict_lines,repeats,window_ops",
+        "L1 occupancy timer: sibling-context attributed misses as the "
+        "clock (needs an smt profile)",
+        [] { return std::make_unique<L1ContentionSource>(); });
     add("hacky_pipeline", "composite",
         "rounds,resolution_ns,jitter_ns,ref_op,ref_ops,op,slow_ops,"
         "fast_ops,train_rounds,set,repeats,tag_base",

@@ -15,6 +15,8 @@
  *   repetition             flush+reload repetition harness
  *   hacky_timer            the paper's composed stealthy timer
  *   coarse_timer           the bare 5 us browser clock (the baseline)
+ *   smt_contention         SMT port-pressure progress timer (contexts >= 2)
+ *   l1_contention          L1 set-occupancy miss-count timer (contexts >= 2)
  *   hacky_pipeline         Pipeline: pa_race -> plru_pa_magnifier
  *   reorder_pipeline       Pipeline: reorder_race -> plru_reorder_magnifier
  *

@@ -66,4 +66,29 @@ TimingSource::amplify(Machine &)
     fatal(name() + " is not an amplifier (amplify unsupported)");
 }
 
+PolarityStats
+measurePolarities(TimingSource &source, Machine &machine, int trials)
+{
+    PolarityStats stats;
+    stats.trials = trials;
+    double fast_cycles = 0, slow_cycles = 0;
+    double fast_reading = 0, slow_reading = 0;
+    for (int t = 0; t < trials; ++t) {
+        for (bool secret : {false, true}) {
+            const TimingSample s = source.sample(machine, secret);
+            (secret ? slow_cycles : fast_cycles) +=
+                static_cast<double>(s.cycles);
+            (secret ? slow_reading : fast_reading) += s.ns;
+            stats.correct += s.bit == secret ? 1 : 0;
+        }
+    }
+    if (trials > 0) {
+        stats.fastCycles = fast_cycles / trials;
+        stats.slowCycles = slow_cycles / trials;
+        stats.fastReading = fast_reading / trials;
+        stats.slowReading = slow_reading / trials;
+    }
+    return stats;
+}
+
 } // namespace hr

@@ -59,6 +59,41 @@ struct TimingSample
 /** A sequence of observations (one per transmitted bit). */
 using Trace = std::vector<TimingSample>;
 
+/**
+ * Fast/slow polarity measurement summary (see measurePolarities):
+ * per-trial means of the raw cycle cost and of the source's own
+ * reading (ns for clock-based sources, counts for contention timers),
+ * plus the decoded-bit accuracy over all 2 x trials samples.
+ */
+struct PolarityStats
+{
+    double fastCycles = 0;  ///< mean sample cycles, secret == false
+    double slowCycles = 0;  ///< mean sample cycles, secret == true
+    double fastReading = 0; ///< mean TimingSample::ns, secret == false
+    double slowReading = 0; ///< mean TimingSample::ns, secret == true
+    int correct = 0;        ///< samples whose bit matched the secret
+    int trials = 0;         ///< trials per polarity
+
+    double
+    accuracy() const
+    {
+        return trials > 0
+                   ? static_cast<double>(correct) / (2.0 * trials)
+                   : 0.0;
+    }
+};
+
+class TimingSource;
+
+/**
+ * The standard accuracy protocol shared by `hr_bench sweep` and the
+ * accuracy scenarios: @p trials rounds of one fast (secret == false)
+ * then one slow (secret == true) observation on @p machine, against a
+ * source that has already been configured and calibrated.
+ */
+PolarityStats measurePolarities(TimingSource &source, Machine &machine,
+                                int trials);
+
 /** The unified gadget abstraction. */
 class TimingSource
 {

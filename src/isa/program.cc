@@ -181,6 +181,16 @@ ProgramBuilder::storeOrdered(Addr addr, RegId data, RegId dep)
 }
 
 void
+ProgramBuilder::storeAbsolute(Addr addr, RegId data)
+{
+    Instruction inst;
+    inst.op = Opcode::Store;
+    inst.dst = data;
+    inst.imm = static_cast<std::int64_t>(addr);
+    emit(inst);
+}
+
+void
 ProgramBuilder::prefetchOrdered(Addr addr, RegId dep)
 {
     Instruction inst;

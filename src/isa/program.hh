@@ -92,6 +92,8 @@ class ProgramBuilder
     RegId loadAbsolute(Addr addr);
     /** mem[addr + dep*0] = data. */
     void storeOrdered(Addr addr, RegId data, RegId dep);
+    /** mem[addr] = data, no ordering dependence (streaming stores). */
+    void storeAbsolute(Addr addr, RegId data);
     /** Software prefetch of addr, ordered after dep (scale 0). */
     void prefetchOrdered(Addr addr, RegId dep);
 

@@ -73,12 +73,33 @@ MachineConfig::withInterrupts(double interval_ms)
     return *this;
 }
 
+MachineConfig &
+MachineConfig::withContexts(int n)
+{
+    contexts = n;
+    return *this;
+}
+
+namespace
+{
+
+/** Propagate MachineConfig::contexts into the hierarchy's config. */
+MachineConfig
+normalized(MachineConfig config)
+{
+    fatalIf(config.contexts < 1, "MachineConfig: contexts must be >= 1");
+    config.memory.contexts = config.contexts;
+    return config;
+}
+
+} // namespace
+
 Machine::Machine(const MachineConfig &config)
-    : config_(config), serial_(nextMachineSerial()),
-      hierarchy_(config.memory)
+    : config_(normalized(config)), serial_(nextMachineSerial()),
+      hierarchy_(config_.memory)
 {
     core_ = std::make_unique<OooCore>(config_.core, hierarchy_, memory_,
-                                      predictor_);
+                                      predictor_, config_.contexts);
 }
 
 double
@@ -115,9 +136,107 @@ Machine::run(Program &program,
                  &initial_regs,
              Cycle max_cycles)
 {
+    return run(0, program, initial_regs, max_cycles);
+}
+
+RunResult
+Machine::run(ContextId ctx, Program &program,
+             const std::vector<std::pair<RegId, std::int64_t>>
+                 &initial_regs,
+             Cycle max_cycles)
+{
+    fatalIf(ctx >= static_cast<ContextId>(config_.contexts),
+            "Machine::run: context out of range");
     if (program.id == 0)
         program.id = nextProgramId_++;
-    return core_->run(program, initial_regs, max_cycles);
+    if (backgrounds_.empty()) {
+        // Fast path, and the exact legacy single-context code path.
+        if (ctx == 0)
+            return core_->run(program, initial_regs, max_cycles);
+        return core_->runOn(ctx, program, initial_regs, max_cycles);
+    }
+    return coRun(ctx, program, {}, initial_regs, max_cycles);
+}
+
+RunResult
+Machine::coRun(ContextId ctx, Program &program,
+               std::vector<std::pair<ContextId, Program *>> extras,
+               const std::vector<std::pair<RegId, std::int64_t>>
+                   &initial_regs,
+               Cycle max_cycles)
+{
+    fatalIf(ctx >= static_cast<ContextId>(config_.contexts),
+            "Machine::run: context out of range");
+    if (program.id == 0)
+        program.id = nextProgramId_++;
+
+    ContextProgram primary;
+    primary.ctx = ctx;
+    primary.program = &program;
+    primary.initialRegs = initial_regs;
+
+    std::vector<ContextProgram> others;
+    for (auto &[extra_ctx, extra_prog] : extras) {
+        fatalIf(extra_ctx >= static_cast<ContextId>(config_.contexts),
+                "Machine::coRun: co-runner context out of range");
+        fatalIf(extra_ctx == ctx,
+                "Machine::coRun: co-runner on the primary context");
+        for (const ContextProgram &other : others)
+            fatalIf(other.ctx == extra_ctx,
+                    "Machine::coRun: two co-runners on one context");
+        if (extra_prog->id == 0)
+            extra_prog->id = nextProgramId_++;
+        ContextProgram spec;
+        spec.ctx = extra_ctx;
+        spec.program = extra_prog;
+        others.push_back(std::move(spec));
+    }
+    // Registered backgrounds fill in every context no explicit
+    // co-runner claimed; each run restarts them from the top.
+    for (auto &[bg_ctx, bg_prog] : backgrounds_) {
+        if (bg_ctx == ctx)
+            continue;
+        bool taken = false;
+        for (const ContextProgram &other : others)
+            taken |= other.ctx == bg_ctx;
+        if (taken)
+            continue;
+        ContextProgram spec;
+        spec.ctx = bg_ctx;
+        spec.program = &bg_prog;
+        others.push_back(std::move(spec));
+    }
+    return core_->coRun(primary, others, max_cycles);
+}
+
+void
+Machine::setBackground(ContextId ctx, Program program)
+{
+    fatalIf(ctx == 0, "Machine::setBackground: context 0 is the "
+                      "primary context");
+    fatalIf(ctx >= static_cast<ContextId>(config_.contexts),
+            "Machine::setBackground: context out of range (configure "
+            "MachineConfig::contexts)");
+    // Backgrounds are machine configuration, so their ids come from a
+    // dedicated namespace that restore() never rolls back: an id
+    // assigned from nextProgramId_ would collide with a foreground
+    // program claiming the same id after a restore (the counter rolls
+    // back, the background's id does not), aliasing their
+    // branch-predictor key spaces.
+    program.id = kBackgroundIdBase + nextBackgroundId_++;
+    backgrounds_.insert_or_assign(ctx, std::move(program));
+}
+
+void
+Machine::clearBackground(ContextId ctx)
+{
+    backgrounds_.erase(ctx);
+}
+
+void
+Machine::clearBackgrounds()
+{
+    backgrounds_.clear();
 }
 
 } // namespace hr

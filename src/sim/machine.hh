@@ -6,12 +6,18 @@
  * predictor, all of which keep state across run() calls — which is how
  * successive "JavaScript function invocations" (training, racing,
  * magnifying, probing) interact through the microarchitecture.
+ *
+ * A machine may expose several SMT-style hardware execution contexts
+ * (MachineConfig::contexts): run() executes on context 0 while
+ * registered background programs (setBackground) co-run on theirs,
+ * and coRun() interleaves explicit co-runners — all deterministically.
  */
 
 #ifndef HR_SIM_MACHINE_HH
 #define HR_SIM_MACHINE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +38,15 @@ struct MachineConfig
     CoreConfig core;
     HierarchyConfig memory;
     double ghz = 2.0; ///< clock for cycle <-> nanosecond conversion
+
+    /**
+     * SMT-style hardware execution contexts sharing the core's issue
+     * queue and functional units and the whole cache hierarchy. The
+     * ROB is partitioned evenly; fetch/dispatch and commit bandwidth
+     * are round-robin arbitrated. A single-context machine (the
+     * default) is bit-identical to the pre-multi-context simulator.
+     */
+    int contexts = 1;
 
     /**
      * Effective-window profile used by the racing-granularity
@@ -57,6 +72,9 @@ struct MachineConfig
 
     /** Enable periodic timer interrupts (default 4 ms, as in Fig. 12). */
     MachineConfig &withInterrupts(double interval_ms = 4.0);
+
+    /** Set the hardware-context count (fluent helper). */
+    MachineConfig &withContexts(int n);
 };
 
 /** The simulated machine. */
@@ -67,9 +85,12 @@ class Machine
 
     /**
      * Deep copy of everything that persists across run() calls: cache
-     * hierarchy (tag arrays, replacement state, in-flight fills),
-     * branch predictor, memory image, core counters/cycle, and the
-     * program-id counter. Move-only; restore any number of times.
+     * hierarchy (tag arrays, replacement state, in-flight fills,
+     * per-context attribution and jitter streams), branch predictor,
+     * memory image, core counters/cycle (whole-core and per-context),
+     * and the program-id counter. Move-only; restore any number of
+     * times. Registered background programs are machine configuration,
+     * not captured state: restore() neither adds nor removes them.
      *
      * Aliasing caveats (see EXPERIMENTS.md):
      *  - restore() does not change serial(), so TimingSources
@@ -112,6 +133,9 @@ class Machine
 
     const MachineConfig &config() const { return config_; }
 
+    /** Number of hardware execution contexts. */
+    int contexts() const { return config_.contexts; }
+
     /**
      * Process-unique machine identity. Lets components that lazily
      * bind to a machine (TimingSource adapters) detect that a new
@@ -134,13 +158,58 @@ class Machine
     double toUs(Cycle cycles) const { return toNs(cycles) / 1e3; }
 
     /**
-     * Run a program to completion. Assigns the program an id on first
-     * use (ids key branch-predictor state).
+     * Run a program to completion on context 0. Assigns the program an
+     * id on first use (ids key branch-predictor state). If background
+     * programs are registered (setBackground), they co-run on their
+     * contexts for the duration — restarted fresh each call — and the
+     * returned result is the primary context's attribution.
      */
     RunResult run(Program &program,
                   const std::vector<std::pair<RegId, std::int64_t>>
                       &initial_regs = {},
                   Cycle max_cycles = 500'000'000);
+
+    /**
+     * Run a program to completion on an arbitrary context. Contexts
+     * other than @p ctx stay idle except for registered backgrounds.
+     */
+    RunResult run(ContextId ctx, Program &program,
+                  const std::vector<std::pair<RegId, std::int64_t>>
+                      &initial_regs = {},
+                  Cycle max_cycles = 500'000'000);
+
+    /**
+     * Co-run driver: execute @p program on @p ctx together with
+     * explicit per-context co-runners, all interleaved
+     * deterministically (plus any registered backgrounds whose
+     * contexts are free). Runs until the primary completes; co-runners
+     * are then abandoned mid-flight like descheduled neighbors.
+     */
+    RunResult coRun(ContextId ctx, Program &program,
+                    std::vector<std::pair<ContextId, Program *>> extras,
+                    const std::vector<std::pair<RegId, std::int64_t>>
+                        &initial_regs = {},
+                    Cycle max_cycles = 500'000'000);
+
+    // ---- ambient background workloads (noisy neighbors) ---------------
+    /**
+     * Register a background program on a context (1..contexts-1). Every
+     * subsequent run() co-runs a fresh restart of it, so the primary
+     * workload always executes against the same co-resident activity.
+     * The program is copied and immediately assigned an id from a
+     * dedicated background namespace that never collides with
+     * foreground program ids — even across restore(), which rolls the
+     * foreground id counter back. Backgrounds are machine
+     * configuration, not microarchitectural state: restore() does not
+     * add or remove them.
+     */
+    void setBackground(ContextId ctx, Program program);
+
+    /** Remove one registered background. */
+    void clearBackground(ContextId ctx);
+
+    /** Remove all registered backgrounds. */
+    void clearBackgrounds();
 
     // ---- harness conveniences -----------------------------------------
     /** Write a word and (optionally) keep caches unaware (default). */
@@ -175,6 +244,11 @@ class Machine
     BranchPredictor predictor_;
     std::unique_ptr<OooCore> core_;
     std::uint64_t nextProgramId_ = 1;
+    /** Id namespace for background programs (see setBackground). */
+    static constexpr std::uint64_t kBackgroundIdBase = 1ull << 40;
+    std::uint64_t nextBackgroundId_ = 0;
+    /** Registered background (noisy-neighbor) programs, by context. */
+    std::map<ContextId, Program> backgrounds_;
 };
 
 } // namespace hr

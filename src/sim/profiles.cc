@@ -45,6 +45,28 @@ makeSmallLlc()
     return config;
 }
 
+/** Two hardware contexts on the default core (contention timers). */
+MachineConfig
+makeSmt2()
+{
+    MachineConfig config;
+    config.contexts = 2;
+    return config;
+}
+
+/**
+ * Two hardware contexts over the 4-way tree-PLRU L1: the home of the
+ * noisy-neighbor sweeps, where the paper's PLRU gadgets run against a
+ * co-resident workload.
+ */
+MachineConfig
+makeSmt2Plru()
+{
+    MachineConfig config = MachineConfig::plruProfile();
+    config.contexts = 2;
+    return config;
+}
+
 const std::vector<MachineProfile> &
 profileTable()
 {
@@ -67,6 +89,14 @@ profileTable()
         {"small_llc",
          "plru profile with a 256-set LRU LLC (section 7.4 evsets)",
          &makeSmallLlc},
+        {"smt2",
+         "default profile with two SMT hardware contexts (contention "
+         "timers)",
+         &makeSmt2},
+        {"smt2_plru",
+         "plru profile with two SMT hardware contexts (noisy-neighbor "
+         "sweeps)",
+         &makeSmt2Plru},
     };
     return kProfiles;
 }

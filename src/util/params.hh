@@ -14,9 +14,21 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace hr
 {
+
+/** Levenshtein edit distance (typo suggestions). */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidate closest to @p needle by edit distance, or "" when
+ * nothing is close enough to plausibly be a typo (distance must be
+ * under half the needle's length, and at most 4).
+ */
+std::string closestMatch(const std::string &needle,
+                         const std::vector<std::string> &candidates);
 
 /** String-keyed parameters with typed accessors. */
 class ParamSet
@@ -35,6 +47,16 @@ class ParamSet
 
     /** Union: entries of @p other override entries of *this. */
     ParamSet overriddenBy(const ParamSet &other) const;
+
+    /**
+     * Fatal unless every key is one of @p allowed. The error names
+     * @p subject (e.g. "gadget 'pa_race'"), lists the valid keys, and
+     * suggests the nearest match for the offending key — so a sweep
+     * typo like `--grid slowops=...` fails with "did you mean
+     * 'slow_ops'?" instead of being silently ignored.
+     */
+    void requireKeys(const std::vector<std::string> &allowed,
+                     const std::string &subject) const;
 
     const std::map<std::string, std::string> &entries() const
     {

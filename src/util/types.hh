@@ -20,6 +20,14 @@ using Cycle = std::uint64_t;
 /** Architectural register identifier. */
 using RegId = std::uint16_t;
 
+/**
+ * Hardware execution context (SMT-style logical thread) within one
+ * Machine. Context 0 is the primary/legacy context; configurations
+ * with a single context behave exactly like the pre-multi-context
+ * simulator.
+ */
+using ContextId = std::uint32_t;
+
 /** Sentinel meaning "no register operand". */
 constexpr RegId kNoReg = 0xffff;
 

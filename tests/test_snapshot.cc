@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -252,6 +254,82 @@ TEST(Snapshot, MachinePoolLeasesAreInterchangeableWithFresh)
     Program w = makeWorkload(1);
     const Fingerprint baseline = runPhase(fresh, w);
     EXPECT_TRUE(fps[0] == baseline);
+}
+
+TEST(Snapshot, MachinePoolConcurrentLeaseStress)
+{
+    // Hammer one pool from many threads: every lease must observe the
+    // warmed base state bit-identically, whatever the interleaving,
+    // and the pool must never build more machines than peak demand.
+    const MachineConfig config =
+        machineConfigForProfile("effective_window");
+    MachinePool pool(config, [](Machine &machine) {
+        Program warm = makeWorkload(0);
+        machine.run(warm);
+    });
+
+    Machine reference(config);
+    Program ref_warm = makeWorkload(0);
+    reference.run(ref_warm);
+    Program ref_attack = makeWorkload(1);
+    const Fingerprint expected = runPhase(reference, ref_attack);
+
+    constexpr int kThreads = 8;
+    constexpr int kLeasesPerThread = 25;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kLeasesPerThread; ++i) {
+                auto lease = pool.lease();
+                Program attack = makeWorkload(1);
+                const Fingerprint fp =
+                    runPhase(lease.machine(), attack);
+                if (!(fp == expected))
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_LE(pool.machinesBuilt(),
+              static_cast<std::size_t>(kThreads));
+    EXPECT_GE(pool.machinesBuilt(), 1u);
+}
+
+TEST(Snapshot, PoolLeasesCoverAllContexts)
+{
+    // A pooled multi-context machine restores every context's state:
+    // leases repeatedly observing a noisy co-run see identical
+    // per-context attribution.
+    MachineConfig config = machineConfigForProfile("smt2");
+    MachinePool pool(config);
+    std::uint64_t noise_committed[2] = {};
+    std::uint64_t primary_misses[2] = {};
+    for (int round = 0; round < 2; ++round) {
+        auto lease = pool.lease();
+        Machine &machine = lease.machine();
+        ProgramBuilder chase("snap_noise");
+        RegId r = chase.movImm(0);
+        const std::int32_t loop = chase.newLabel();
+        chase.bind(loop);
+        for (Addr addr : workloadAddrs())
+            chase.loadOrderedInto(r, addr);
+        chase.jump(loop);
+        machine.setBackground(1, chase.take());
+        Program attack = makeWorkload(1);
+        machine.run(attack);
+        noise_committed[round] =
+            machine.core().contextCounters(1).committedInstrs;
+        primary_misses[round] =
+            machine.hierarchy().contextStats(0).misses;
+    }
+    EXPECT_EQ(noise_committed[0], noise_committed[1]);
+    EXPECT_EQ(primary_misses[0], primary_misses[1]);
+    EXPECT_GT(noise_committed[0], 0u);
+    EXPECT_EQ(pool.machinesBuilt(), 1u);
 }
 
 TEST(Snapshot, ReseedMatchesFreshConstruction)
