@@ -5,20 +5,24 @@
  *   hr_bench list [--format=table|json|csv]
  *   hr_bench profiles
  *   hr_bench gadgets [--format=table|json|csv]
+ *   hr_bench channels [--format=table|json|csv]
  *   hr_bench run <scenario>... [--trials=N] [--jobs=N] [--seed=S]
  *                              [--format=table|json|csv]
  *                              [--profile=NAME] [--param key=value]
  *   hr_bench run --all
- *   hr_bench sweep --gadget=NAME [--profile=NAME] [--grid key=v1,v2]...
+ *   hr_bench sweep --gadget=NAME | --channel=NAME
+ *                  [--profile=NAME] [--grid key=v1,v2]...
  *                  [--trials=N] [--jobs=N] [--seed=S] [--format=F]
  *                  [--param key=value]
  *   hr_bench perf [--quick] [--suite=NAME]... [--out=FILE]
  *                 [--baseline=FILE] [--tolerance=T] [--seed=S]
  *
  * Scenario names resolve by exact match or unique prefix (`run fig04`),
- * and gadget names likewise (`sweep --gadget=arith`). Exit status is 0
- * iff every executed scenario's checks passed, so the driver composes
- * with CI exactly like the former standalone benches.
+ * and gadget/channel names likewise (`sweep --gadget=arith`). Exit
+ * status is 0 iff every executed scenario's checks passed, so the
+ * driver composes with CI exactly like the former standalone benches;
+ * listing commands exit nonzero when their registry is empty (a build
+ * that silently dropped the registrations must not look healthy).
  */
 
 #include <algorithm>
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/channel_registry.hh"
 #include "exp/perf.hh"
 #include "exp/registry.hh"
 #include "exp/runner.hh"
@@ -51,10 +56,12 @@ usage()
         "  list                 list registered scenarios\n"
         "  profiles             list named machine profiles\n"
         "  gadgets              list registered timing-source gadgets\n"
+        "  channels             list registered covert-channel stacks\n"
         "  run <scenario>...    run scenarios (exact name or unique "
         "prefix)\n"
         "  run --all            run every registered scenario\n"
         "  sweep --gadget=NAME  sweep a gadget over a parameter grid\n"
+        "  sweep --channel=NAME sweep a covert channel over a grid\n"
         "  perf                 self-profile the simulator, write "
         "BENCH_hr_perf.json\n"
         "\n"
@@ -70,12 +77,15 @@ usage()
         "\n"
         "sweep options (plus the run options above):\n"
         "  --gadget=NAME        gadget to sweep (see `gadgets`)\n"
+        "  --channel=NAME       covert channel to sweep (see "
+        "`channels`)\n"
         "  --profile=NAME       machine profile (default `default`)\n"
         "  --grid key=v1,v2     grid axis; also key=lo:hi[:step] "
         "(repeatable, cartesian)\n"
-        "  --trials=N           samples per polarity per grid point "
-        "(default 4)\n"
-        "  --param key=value    fixed gadget parameter (repeatable)\n"
+        "  --trials=N           samples per polarity (gadget) or "
+        "transmissions (channel) per grid point (default 4)\n"
+        "  --param key=value    fixed gadget/channel parameter "
+        "(repeatable)\n"
         "\n"
         "perf options:\n"
         "  --quick              CI-sized measurement budgets\n"
@@ -95,6 +105,7 @@ struct Cli
     RunOptions options;
     bool run_all = false;
     std::string gadget;
+    std::string channel;
     std::vector<std::string> grid_args;
     bool trials_given = false;
     bool quick = false;
@@ -162,6 +173,9 @@ struct Cli
             } else if (matches("gadget")) {
                 cli.gadget = value("gadget");
                 cli.seen.push_back("gadget");
+            } else if (matches("channel")) {
+                cli.channel = value("channel");
+                cli.seen.push_back("channel");
             } else if (matches("grid")) {
                 cli.grid_args.push_back(value("grid"));
                 cli.seen.push_back("grid");
@@ -191,10 +205,24 @@ struct Cli
     }
 };
 
+/**
+ * An empty registry on a listing command means the registrations were
+ * dead-stripped or the build is otherwise broken — exit nonzero so CI
+ * smoke steps can tell that apart from a healthy listing.
+ */
+int
+emptyRegistry(const char *what)
+{
+    std::fprintf(stderr, "hr_bench: no %s registered\n", what);
+    return 1;
+}
+
 int
 cmdList(const Cli &cli)
 {
     const auto scenarios = ScenarioRegistry::instance().all();
+    if (scenarios.empty())
+        return emptyRegistry("scenarios");
     if (cli.options.format == Format::Table) {
         Table table({"scenario", "profile", "trials", "title"});
         for (Scenario *scenario : scenarios)
@@ -255,9 +283,9 @@ rejectStray(const Cli &cli, const std::string &command)
         allowed.insert(allowed.end(), {"all", "trials", "jobs", "seed",
                                        "profile", "param"});
     } else if (command == "sweep") {
-        allowed.insert(allowed.end(), {"gadget", "grid", "trials",
-                                       "jobs", "seed", "profile",
-                                       "param"});
+        allowed.insert(allowed.end(), {"gadget", "channel", "grid",
+                                       "trials", "jobs", "seed",
+                                       "profile", "param"});
     } else if (command == "perf") {
         allowed.insert(allowed.end(), {"quick", "suite", "out",
                                        "baseline", "tolerance", "seed"});
@@ -274,14 +302,41 @@ rejectStray(const Cli &cli, const std::string &command)
 int
 cmdGadgets(const Cli &cli)
 {
+    const auto gadgets = GadgetRegistry::instance().all();
+    if (gadgets.empty())
+        return emptyRegistry("gadgets");
     Table table({"gadget", "kind", "parameters", "description"});
-    for (const GadgetInfo *gadget : GadgetRegistry::instance().all())
+    for (const GadgetInfo *gadget : gadgets)
         table.addRow({gadget->name, gadget->kind, gadget->params,
                       gadget->description});
     if (cli.options.format == Format::Table) {
         table.print();
-        std::printf("\n%zu gadgets registered\n",
-                    GadgetRegistry::instance().all().size());
+        std::printf("\n%zu gadgets registered\n", gadgets.size());
+    } else {
+        std::fputs((cli.options.format == Format::Json
+                        ? table.renderJson()
+                        : table.renderCsv())
+                       .c_str(),
+                   stdout);
+    }
+    return 0;
+}
+
+int
+cmdChannels(const Cli &cli)
+{
+    const auto channels = ChannelRegistry::instance().all();
+    if (channels.empty())
+        return emptyRegistry("channels");
+    Table table(
+        {"channel", "gadget", "mod", "parameters", "description"});
+    for (const ChannelInfo *channel : channels)
+        table.addRow({channel->name, channel->gadget,
+                      channel->modulation, channel->params,
+                      channel->description});
+    if (cli.options.format == Format::Table) {
+        table.print();
+        std::printf("\n%zu channels registered\n", channels.size());
     } else {
         std::fputs((cli.options.format == Format::Json
                         ? table.renderJson()
@@ -295,10 +350,14 @@ cmdGadgets(const Cli &cli)
 int
 cmdSweep(const Cli &cli)
 {
-    fatalIf(cli.gadget.empty(), "sweep: --gadget=NAME is required "
-                                "(see `hr_bench gadgets`)");
+    fatalIf(cli.gadget.empty() && cli.channel.empty(),
+            "sweep: --gadget=NAME or --channel=NAME is required "
+            "(see `hr_bench gadgets` / `hr_bench channels`)");
+    fatalIf(!cli.gadget.empty() && !cli.channel.empty(),
+            "sweep: --gadget and --channel are mutually exclusive");
     SweepOptions options;
     options.gadget = cli.gadget;
+    options.channel = cli.channel;
     if (!cli.options.profile.empty())
         options.profile = cli.options.profile;
     if (cli.trials_given)
@@ -312,7 +371,9 @@ cmdSweep(const Cli &cli)
         options.progress = [](const std::string &text) {
             std::fprintf(stderr, "  .. %s\n", text.c_str());
         };
-    ResultTable result = runSweep(options);
+    ResultTable result = options.channel.empty()
+                             ? runSweep(options)
+                             : runChannelSweep(options);
     std::fputs(result.render(cli.options.format).c_str(), stdout);
     return result.passed() ? 0 : 1;
 }
@@ -433,6 +494,8 @@ main(int argc, char **argv)
             return cmdProfiles(cli);
         if (command == "gadgets")
             return cmdGadgets(cli);
+        if (command == "channels")
+            return cmdChannels(cli);
         if (command == "sweep")
             return cmdSweep(cli);
         if (command == "perf")

@@ -1,0 +1,232 @@
+#include "channel/channel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gadgets/gadget_registry.hh"
+#include "sim/noise.hh"
+#include "util/log.hh"
+
+namespace hr
+{
+
+namespace
+{
+
+/** xlog2x with the information-theoretic 0 log 0 = 0 convention. */
+double
+entropyTerm(double p)
+{
+    return p > 0 ? -p * std::log2(p) : 0.0;
+}
+
+} // namespace
+
+void
+ChannelStats::accumulate(const ChannelStats &other)
+{
+    framesSent += other.framesSent;
+    framesSynced += other.framesSynced;
+    symbolsSent += other.symbolsSent;
+    symbolErrors += other.symbolErrors;
+    payloadBitsSent += other.payloadBitsSent;
+    payloadBitsSynced += other.payloadBitsSynced;
+    payloadErrors += other.payloadErrors;
+    for (int s = 0; s < 2; ++s)
+        for (int d = 0; d < 2; ++d)
+            confusion[s][d] += other.confusion[s][d];
+    cycles += other.cycles;
+    seconds += other.seconds;
+}
+
+double
+ChannelStats::rawBitsPerSec() const
+{
+    return seconds > 0 ? symbolsSent / seconds : 0.0;
+}
+
+double
+ChannelStats::effectiveBitsPerSec() const
+{
+    if (seconds <= 0)
+        return 0.0;
+    const int good = payloadBitsSynced - payloadErrors;
+    return good > 0 ? good / seconds : 0.0;
+}
+
+double
+ChannelStats::ber() const
+{
+    if (payloadBitsSynced > 0)
+        return static_cast<double>(payloadErrors) / payloadBitsSynced;
+    // A transmission that never synced delivered nothing: count it as
+    // total loss rather than a spuriously clean 0.
+    return framesSent > 0 ? 1.0 : 0.0;
+}
+
+double
+ChannelStats::symbolErrorRate() const
+{
+    return symbolsSent > 0
+               ? static_cast<double>(symbolErrors) / symbolsSent
+               : 0.0;
+}
+
+double
+ChannelStats::syncFailureRate() const
+{
+    return framesSent > 0
+               ? 1.0 - static_cast<double>(framesSynced) / framesSent
+               : 0.0;
+}
+
+double
+ChannelStats::shannonBitsPerSymbol() const
+{
+    double total = 0;
+    for (int s = 0; s < 2; ++s)
+        for (int d = 0; d < 2; ++d)
+            total += static_cast<double>(confusion[s][d]);
+    if (total <= 0)
+        return 0.0;
+    // I(X;Y) = H(Y) - H(Y|X) over the empirical joint distribution.
+    double h_y = 0, h_y_given_x = 0;
+    for (int d = 0; d < 2; ++d) {
+        const double p_y =
+            static_cast<double>(confusion[0][d] + confusion[1][d]) /
+            total;
+        h_y += entropyTerm(p_y);
+    }
+    for (int s = 0; s < 2; ++s) {
+        const double n_x =
+            static_cast<double>(confusion[s][0] + confusion[s][1]);
+        if (n_x <= 0)
+            continue;
+        double h = 0;
+        for (int d = 0; d < 2; ++d)
+            h += entropyTerm(static_cast<double>(confusion[s][d]) / n_x);
+        h_y_given_x += n_x / total * h;
+    }
+    const double mi = h_y - h_y_given_x;
+    return mi > 0 ? mi : 0.0;
+}
+
+double
+ChannelStats::shannonBitsPerSec() const
+{
+    return seconds > 0 ? shannonBitsPerSymbol() * symbolsSent / seconds
+                       : 0.0;
+}
+
+Channel::Channel(ChannelConfig config)
+    : config_(std::move(config)),
+      modulator_(GadgetRegistry::instance().make(config_.gadget,
+                                                 config_.gadgetParams),
+                 config_.modulation)
+{
+    fatalIf(config_.frames < 1, "channel: frames must be >= 1");
+    fatalIf(config_.calibrationRounds < 1,
+            "channel: calibration rounds must be >= 1");
+    (void)frameChannelBits(config_.frame); // validate framing knobs
+    (void)noiseWorkload(config_.noise);    // validate the noise name
+}
+
+bool
+Channel::compatible(const Machine &machine) const
+{
+    if (config_.noise != "idle" && machine.contexts() < 2)
+        return false;
+    return modulator_.compatible(machine);
+}
+
+void
+Channel::prepare(Machine &machine)
+{
+    if (machine.contexts() >= 2 && config_.noise != "idle") {
+        // The neighbor co-runs inside every symbol's machine run, so
+        // calibration below sees the same contention transmission
+        // will. "idle" leaves any caller-installed background alone
+        // (the detector scenario pairs a channel with its own benign
+        // sibling workload) instead of clearing context 1.
+        installNoise(machine, 1, config_.noise, config_.noiseParams);
+    }
+    demod_.calibrate(machine, modulator_, config_.calibrationRounds);
+}
+
+ChannelStats
+Channel::run(Machine &machine, const std::vector<bool> &payload)
+{
+    fatalIf(!demod_.calibrated(), "channel: run before prepare");
+    const int frame_payload = config_.frame.payloadBits;
+    const int frames =
+        payload.empty()
+            ? 1
+            : static_cast<int>((payload.size() +
+                                static_cast<std::size_t>(frame_payload) -
+                                1) /
+                               static_cast<std::size_t>(frame_payload));
+
+    ChannelStats stats;
+    std::vector<bool> sent_payload;   // zero-padded to whole frames
+    std::vector<bool> received_bits;  // the demodulated symbol stream
+    const Cycle t0 = machine.now();
+    for (int frame = 0; frame < frames; ++frame) {
+        std::vector<bool> chunk(static_cast<std::size_t>(frame_payload),
+                                false);
+        for (int i = 0; i < frame_payload; ++i) {
+            const std::size_t index = static_cast<std::size_t>(
+                frame * frame_payload + i);
+            if (index < payload.size())
+                chunk[static_cast<std::size_t>(i)] = payload[index];
+        }
+        sent_payload.insert(sent_payload.end(), chunk.begin(),
+                            chunk.end());
+
+        // Transmit the frame symbol by symbol; the demodulator's
+        // hard decisions are all the receiver keeps.
+        for (bool bit : encodeFrame(config_.frame, chunk)) {
+            const SymbolReading symbol =
+                modulator_.transmit(machine, bit);
+            const bool decoded = demod_.decide(symbol.reading);
+            received_bits.push_back(decoded);
+            ++stats.symbolsSent;
+            stats.symbolErrors += decoded != bit ? 1 : 0;
+            ++stats.confusion[bit ? 1 : 0][decoded ? 1 : 0];
+        }
+    }
+    stats.cycles = machine.now() - t0;
+    stats.seconds = machine.toNs(stats.cycles) / 1e9;
+
+    // Receiver side: re-sync on each preamble and error-correct. The
+    // scan may skip a frame whose preamble was destroyed and lock
+    // onto the *next* frame, so the decoded payload is compared
+    // against the frame the preamble position actually belongs to,
+    // not the loop index — a resynced frame that arrived intact must
+    // not be scored against its lost predecessor's bits.
+    const std::size_t frame_len =
+        static_cast<std::size_t>(frameChannelBits(config_.frame));
+    std::size_t pos = 0;
+    for (int frame = 0; frame < frames; ++frame) {
+        stats.framesSent += 1;
+        stats.payloadBitsSent += frame_payload;
+        const FrameDecode decode =
+            decodeFrame(config_.frame, received_bits, pos);
+        pos = decode.nextPos;
+        if (!decode.synced)
+            continue;
+        const int src_frame = std::min(
+            frames - 1, static_cast<int>(decode.syncPos / frame_len));
+        stats.framesSynced += 1;
+        stats.payloadBitsSynced += frame_payload;
+        for (int i = 0; i < frame_payload; ++i) {
+            const bool sent = sent_payload[static_cast<std::size_t>(
+                src_frame * frame_payload + i)];
+            stats.payloadErrors +=
+                decode.payload[static_cast<std::size_t>(i)] != sent ? 1
+                                                                    : 0;
+        }
+    }
+    return stats;
+}
+
+} // namespace hr

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Frame sync + coding layer of the covert channel.
+ *
+ * Payload bits travel in fixed-size frames: an 8-bit preamble
+ * (10101011 — alternating bits ending in a double 1, so it cannot
+ * match one symbol period early) followed by the ECC-coded payload
+ * chunk. The receiver scans the demodulated bit stream for the
+ * preamble, consumes one frame, and error-corrects the payload:
+ *
+ *   none        raw payload bits (the BER-measurement configuration)
+ *   repetition  each bit sent `repeat` times, majority decode
+ *   hamming74   Hamming(7,4): 4 data bits per 7 channel bits, any
+ *               single-bit error per code word corrected
+ *
+ * A frame whose preamble cannot be found inside its search window is
+ * a sync failure; the receiver skips one frame length and tries the
+ * next frame, so one corrupted preamble does not desynchronize the
+ * rest of the transmission.
+ */
+
+#ifndef HR_CHANNEL_FRAME_HH
+#define HR_CHANNEL_FRAME_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hr
+{
+
+/** Error-correcting code applied to each frame's payload. */
+enum class Ecc
+{
+    None,
+    Repetition,
+    Hamming74,
+};
+
+/** Parse "none" / "repetition" / "hamming74" (fatal otherwise). */
+Ecc eccFromName(const std::string &name);
+std::string eccName(Ecc ecc);
+
+/** Framing and coding knobs. */
+struct FrameConfig
+{
+    int payloadBits = 16; ///< data bits per frame
+    Ecc ecc = Ecc::Hamming74;
+    int repeat = 3;       ///< repetition factor (ecc == Repetition)
+};
+
+/** The fixed 8-bit sync preamble (10101011). */
+const std::vector<bool> &framePreamble();
+
+/** Coded payload length in channel bits (excluding the preamble). */
+int codedBits(const FrameConfig &config);
+
+/** Whole-frame length in channel bits (preamble + coded payload). */
+int frameChannelBits(const FrameConfig &config);
+
+/** ECC-encode exactly config.payloadBits payload bits. */
+std::vector<bool> eccEncode(const FrameConfig &config,
+                            const std::vector<bool> &payload);
+
+/**
+ * ECC-decode exactly codedBits(config) channel bits back to
+ * config.payloadBits payload bits (hard-decision).
+ */
+std::vector<bool> eccDecode(const FrameConfig &config,
+                            const std::vector<bool> &coded);
+
+/** Preamble + ECC(payload): the channel bits of one frame. */
+std::vector<bool> encodeFrame(const FrameConfig &config,
+                              const std::vector<bool> &payload);
+
+/** Outcome of consuming one frame from the demodulated stream. */
+struct FrameDecode
+{
+    bool synced = false;
+    std::size_t syncPos = 0;    ///< preamble start (valid when synced)
+    std::size_t nextPos = 0;    ///< stream position after this frame
+    std::vector<bool> payload;  ///< decoded bits (empty on sync loss)
+};
+
+/**
+ * Scan @p bits for the preamble starting at @p pos (at most one frame
+ * length of slack) and decode the frame that follows. On sync failure
+ * the receiver advances one frame length so the next frame can still
+ * lock on.
+ */
+FrameDecode decodeFrame(const FrameConfig &config,
+                        const std::vector<bool> &bits, std::size_t pos);
+
+} // namespace hr
+
+#endif // HR_CHANNEL_FRAME_HH

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "channel/channel_registry.hh"
 #include "exp/machine_pool.hh"
 #include "exp/registry.hh"
 #include "exp/runner.hh"
@@ -315,6 +316,52 @@ runPerfSuites(const PerfOptions &options)
         suites.push_back(scenarioWallSuite(
             "fig10_quick_wall", "fig10_reorder_distribution",
             options.quick ? 6 : 24, options.seed));
+    }
+
+    if (wanted("channel_symbol_rate")) {
+        note("channel_symbol_rate");
+        Machine machine(machineConfigForProfile("default"));
+        ParamSet overrides;
+        overrides.set("ecc", "none");
+        overrides.set("frame_bits", "8");
+        Channel channel(ChannelRegistry::instance().makeConfig(
+            "ook_arith", overrides));
+        channel.prepare(machine);
+        std::vector<bool> payload;
+        for (int i = 0; i < 8; ++i)
+            payload.push_back(i % 2 == 0);
+        suites.push_back(measureRate(
+            "channel_symbol_rate",
+            "covert-channel symbols per second (ook_arith, uncoded "
+            "8-bit frames)",
+            budget, [&]() {
+                // One frame per batch: arith symbols are ~ms each.
+                return static_cast<long long>(
+                    channel.run(machine, payload).symbolsSent);
+            }));
+    }
+
+    if (wanted("channel_frame_path")) {
+        note("channel_frame_path");
+        Machine machine(machineConfigForProfile("plru"));
+        ParamSet overrides;
+        overrides.set("frame_bits", "16");
+        Channel channel(ChannelRegistry::instance().makeConfig(
+            "rs2_plru_pa", overrides));
+        channel.prepare(machine);
+        std::vector<bool> payload;
+        for (int i = 0; i < 16; ++i)
+            payload.push_back(i % 3 == 0);
+        suites.push_back(measureRate(
+            "channel_frame_path",
+            "end-to-end framed transmissions per second "
+            "(rs2_plru_pa, Hamming(7,4), preamble sync)",
+            budget, [&]() {
+                long long frames = 0;
+                for (int i = 0; i < 4; ++i)
+                    frames += channel.run(machine, payload).framesSent;
+                return frames;
+            }));
     }
 
     if (wanted("sweep_points")) {

@@ -28,6 +28,35 @@ ScenarioContext::machineConfig() const
     return machineConfigForProfile(profileName_);
 }
 
+MachineConfig
+ScenarioContext::machineConfig(int index) const
+{
+    MachineConfig config = machineConfig();
+    const std::uint64_t mix = indexSeed(index);
+    config.memory.rngSeed ^= mix;
+    config.memory.l1.rngSeed ^= mix;
+    config.memory.l2.rngSeed ^= mix;
+    config.memory.l3.rngSeed ^= mix;
+    return config;
+}
+
+void
+ScenarioContext::reseedMachine(Machine &machine,
+                               const MachineConfig &base,
+                               std::uint64_t mix)
+{
+    machine.hierarchy().reseed(base.memory.rngSeed ^ mix,
+                               base.memory.l1.rngSeed ^ mix,
+                               base.memory.l2.rngSeed ^ mix,
+                               base.memory.l3.rngSeed ^ mix);
+}
+
+void
+ScenarioContext::reseedMachine(Machine &machine, int index) const
+{
+    reseedMachine(machine, machineConfig(), indexSeed(index));
+}
+
 void
 ScenarioContext::note(const std::string &text) const
 {

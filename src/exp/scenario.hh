@@ -61,6 +61,26 @@ class ScenarioContext
     /** Fresh MachineConfig for the resolved profile. */
     MachineConfig machineConfig() const;
 
+    /**
+     * machineConfig() with every machine-noise RNG seed (latency
+     * jitter, random-replacement streams) mixed with
+     * indexSeed(index): `--seed` reaches the per-trial machine
+     * sub-streams, not just the scenario-level Rng, while staying
+     * deterministic per trial index (independent of --jobs).
+     */
+    MachineConfig machineConfig(int index) const;
+
+    /**
+     * Re-seed a live (typically pooled) machine's noise streams
+     * exactly as a fresh construction from machineConfig(index)
+     * would: @p base must be the config the machine was built from.
+     */
+    static void reseedMachine(Machine &machine, const MachineConfig &base,
+                              std::uint64_t mix);
+
+    /** reseedMachine against this context's profile and trial index. */
+    void reseedMachine(Machine &machine, int index) const;
+
     const ParamSet &params() const { return params_; }
 
     /** Abbreviated run requested (--param quick=1; used by tests). */

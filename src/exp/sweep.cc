@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "channel/channel_registry.hh"
 #include "exp/machine_pool.hh"
 #include "exp/scenario.hh"
 #include "gadgets/gadget_registry.hh"
@@ -70,6 +71,72 @@ struct SweepRow
     double accuracy = 0;
 };
 
+/** Validated cartesian grid, expanded lazily (last axis fastest). */
+struct Grid
+{
+    const std::vector<SweepAxis> *axes = nullptr;
+    int points = 1;
+
+    std::vector<std::string>
+    valuesAt(int index) const
+    {
+        std::vector<std::string> values(axes->size());
+        for (std::size_t a = axes->size(); a-- > 0;) {
+            const SweepAxis &axis = (*axes)[a];
+            const int n = static_cast<int>(axis.values.size());
+            values[a] = axis.values[static_cast<std::size_t>(index % n)];
+            index /= n;
+        }
+        return values;
+    }
+
+    std::string
+    spec() const
+    {
+        std::string out;
+        for (const SweepAxis &axis : *axes) {
+            out += (out.empty() ? "" : " ") + axis.key + "=";
+            for (std::size_t v = 0; v < axis.values.size(); ++v)
+                out += (v ? "," : "") + axis.values[v];
+        }
+        return out;
+    }
+};
+
+Grid
+expandGrid(const std::vector<SweepAxis> &axes)
+{
+    constexpr long long kMaxPoints = 1'000'000;
+    Grid grid;
+    grid.axes = &axes;
+    long long total = 1;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+        const SweepAxis &axis = axes[a];
+        fatalIf(axis.values.empty(),
+                "--grid " + axis.key + ": no values");
+        for (std::size_t b = 0; b < a; ++b)
+            fatalIf(axes[b].key == axis.key,
+                    "--grid " + axis.key + ": duplicate axis (the "
+                    "later one would silently win)");
+        total *= static_cast<long long>(axis.values.size());
+        fatalIf(total > kMaxPoints,
+                "sweep: grid expands to more than " +
+                    std::to_string(kMaxPoints) + " points");
+    }
+    grid.points = static_cast<int>(total);
+    return grid;
+}
+
+/** Keys of the grid axes as a ParamSet, for up-front validation. */
+ParamSet
+gridKeySet(const std::vector<SweepAxis> &axes)
+{
+    ParamSet keys;
+    for (const SweepAxis &axis : axes)
+        keys.set(axis.key, "");
+    return keys;
+}
+
 } // namespace
 
 SweepAxis
@@ -120,41 +187,13 @@ runSweep(const SweepOptions &options)
         GadgetRegistry::paramKeys(gadget);
     options.params.requireKeys(allowed_keys,
                                "gadget '" + gadget.name + "'");
-    {
-        ParamSet axis_keys;
-        for (const SweepAxis &axis : options.grid)
-            axis_keys.set(axis.key, "");
-        axis_keys.requireKeys(allowed_keys,
-                              "--grid: gadget '" + gadget.name + "'");
-    }
+    gridKeySet(options.grid)
+        .requireKeys(allowed_keys, "--grid: gadget '" + gadget.name +
+                                       "'");
 
-    // Expand the cartesian grid, last axis fastest.
-    constexpr long long kMaxPoints = 1'000'000;
-    long long total = 1;
-    for (std::size_t a = 0; a < options.grid.size(); ++a) {
-        const SweepAxis &axis = options.grid[a];
-        fatalIf(axis.values.empty(),
-                "--grid " + axis.key + ": no values");
-        for (std::size_t b = 0; b < a; ++b)
-            fatalIf(options.grid[b].key == axis.key,
-                    "--grid " + axis.key + ": duplicate axis (the "
-                    "later one would silently win)");
-        total *= static_cast<long long>(axis.values.size());
-        fatalIf(total > kMaxPoints,
-                "sweep: grid expands to more than " +
-                    std::to_string(kMaxPoints) + " points");
-    }
-    const int points = static_cast<int>(total);
-    auto axis_values = [&](int index) {
-        std::vector<std::string> values(options.grid.size());
-        for (std::size_t a = options.grid.size(); a-- > 0;) {
-            const auto &axis = options.grid[a];
-            const int n = static_cast<int>(axis.values.size());
-            values[a] = axis.values[static_cast<std::size_t>(index % n)];
-            index /= n;
-        }
-        return values;
-    };
+    const Grid grid = expandGrid(options.grid);
+    const int points = grid.points;
+    auto axis_values = [&](int index) { return grid.valuesAt(index); };
 
     ScenarioContext ctx(options.trials, options.jobs, options.seed,
                         options.profile, options.params,
@@ -183,12 +222,8 @@ runSweep(const SweepOptions &options)
                 // with different seeds are independent replicates.
                 auto lease = machine_pool.lease();
                 Machine &machine = lease.machine();
-                const std::uint64_t mix = ctx.indexSeed(index);
-                machine.hierarchy().reseed(
-                    base_config.memory.rngSeed ^ mix,
-                    base_config.memory.l1.rngSeed ^ mix,
-                    base_config.memory.l2.rngSeed ^ mix,
-                    base_config.memory.l3.rngSeed ^ mix);
+                ScenarioContext::reseedMachine(machine, base_config,
+                                               ctx.indexSeed(index));
                 auto source =
                     GadgetRegistry::instance().make(gadget.name, params);
                 if (!source->compatible(machine)) {
@@ -235,12 +270,7 @@ runSweep(const SweepOptions &options)
         table.addRow(std::move(cells));
     }
 
-    std::string grid_spec;
-    for (const SweepAxis &axis : options.grid) {
-        grid_spec += (grid_spec.empty() ? "" : " ") + axis.key + "=";
-        for (std::size_t v = 0; v < axis.values.size(); ++v)
-            grid_spec += (v ? "," : "") + axis.values[v];
-    }
+    const std::string grid_spec = grid.spec();
 
     ResultTable result;
     result.setScenario("sweep_" + gadget.name,
@@ -258,6 +288,138 @@ runSweep(const SweepOptions &options)
     // driver), not a quietly empty success.
     bool any_ok = false;
     for (const SweepRow &row : rows)
+        any_ok |= row.status == "ok";
+    result.addCheck("at least one grid point ran", any_ok);
+    return result;
+}
+
+namespace
+{
+
+/** One channel-sweep grid point's outcome. */
+struct ChannelSweepRow
+{
+    std::vector<std::string> axisValues;
+    std::string status = "ok";
+    ChannelStats stats;
+};
+
+} // namespace
+
+ResultTable
+runChannelSweep(const SweepOptions &options)
+{
+    fatalIf(options.trials < 1, "sweep: trials must be >= 1");
+    const ChannelInfo &channel_info =
+        ChannelRegistry::instance().resolve(options.channel);
+    // Validate the profile up front (fatal with the known names).
+    const MachineConfig base_config =
+        machineConfigForProfile(options.profile);
+
+    // Grid-axis and fixed keys validate against the channel's
+    // documented keys (channel-level + the gadget's own) before
+    // anything runs.
+    const std::vector<std::string> allowed_keys =
+        ChannelRegistry::paramKeys(channel_info);
+    options.params.requireKeys(allowed_keys, "channel '" +
+                                                 channel_info.name +
+                                                 "'");
+    gridKeySet(options.grid)
+        .requireKeys(allowed_keys, "--grid: channel '" +
+                                       channel_info.name + "'");
+
+    const Grid grid = expandGrid(options.grid);
+
+    ScenarioContext ctx(options.trials, options.jobs, options.seed,
+                        options.profile, options.params,
+                        options.progress);
+
+    MachinePool machine_pool(base_config);
+
+    const std::vector<ChannelSweepRow> rows = ctx.parallelMap(
+        grid.points, [&](int index, Rng &rng) {
+            ChannelSweepRow row;
+            row.axisValues = grid.valuesAt(index);
+            ParamSet point;
+            for (std::size_t a = 0; a < options.grid.size(); ++a)
+                point.set(options.grid[a].key, row.axisValues[a]);
+            const ParamSet params = options.params.overriddenBy(point);
+            try {
+                auto lease = machine_pool.lease();
+                Machine &machine = lease.machine();
+                ScenarioContext::reseedMachine(machine, base_config,
+                                               ctx.indexSeed(index));
+                Channel channel(ChannelRegistry::instance().makeConfig(
+                    channel_info.name, params));
+                if (!channel.compatible(machine)) {
+                    row.status = "incompatible";
+                    return row;
+                }
+                channel.prepare(machine);
+                // `trials` transmissions accumulate into one row so
+                // BER/sync estimates firm up without a longer frame.
+                const ChannelConfig &config = channel.config();
+                for (int trial = 0; trial < options.trials; ++trial) {
+                    std::vector<bool> payload;
+                    const int bits =
+                        config.frames * config.frame.payloadBits;
+                    for (int i = 0; i < bits; ++i)
+                        payload.push_back(rng.chance(0.5));
+                    row.stats.accumulate(
+                        channel.run(machine, payload));
+                }
+            } catch (const std::exception &e) {
+                row.status = std::string("error: ") + e.what();
+            }
+            return row;
+        });
+
+    std::vector<std::string> headers;
+    for (const SweepAxis &axis : options.grid)
+        headers.push_back(axis.key);
+    for (const char *column :
+         {"status", "raw kb/s", "eff kb/s", "BER", "sync fail",
+          "shannon kb/s"}) {
+        headers.push_back(column);
+    }
+    Table table(headers);
+    for (const ChannelSweepRow &row : rows) {
+        std::vector<std::string> cells = row.axisValues;
+        cells.push_back(row.status);
+        if (row.status == "ok") {
+            cells.push_back(
+                Table::num(row.stats.rawBitsPerSec() / 1e3, 2));
+            cells.push_back(
+                Table::num(row.stats.effectiveBitsPerSec() / 1e3, 2));
+            cells.push_back(Table::num(row.stats.ber(), 3));
+            cells.push_back(
+                Table::num(row.stats.syncFailureRate(), 3));
+            cells.push_back(
+                Table::num(row.stats.shannonBitsPerSec() / 1e3, 2));
+        } else {
+            for (int i = 0; i < 5; ++i)
+                cells.push_back("-");
+        }
+        table.addRow(std::move(cells));
+    }
+
+    ResultTable result;
+    result.setScenario("sweep_channel_" + channel_info.name,
+                       "channel sweep: " + channel_info.name + " on " +
+                           options.profile,
+                       channel_info.description);
+    result.addMeta("channel", channel_info.name);
+    result.addMeta("gadget", channel_info.gadget);
+    result.addMeta("modulation", channel_info.modulation);
+    result.addMeta("profile", options.profile);
+    result.addMeta("trials", std::to_string(options.trials));
+    result.addMeta("seed", std::to_string(options.seed));
+    const std::string grid_spec = grid.spec();
+    if (!grid_spec.empty())
+        result.addMeta("grid", grid_spec);
+    result.addTable("", std::move(table));
+    bool any_ok = false;
+    for (const ChannelSweepRow &row : rows)
         any_ok |= row.status == "ok";
     result.addCheck("at least one grid point ran", any_ok);
     return result;

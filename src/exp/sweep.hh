@@ -44,6 +44,9 @@ SweepAxis parseSweepAxis(const std::string &arg);
 struct SweepOptions
 {
     std::string gadget;            ///< registry name (or unique prefix)
+    std::string channel;           ///< channel registry name (see
+                                   ///< runChannelSweep); exclusive
+                                   ///< with `gadget`
     std::string profile = "default"; ///< machine profile per point
     int trials = 4;                ///< samples per polarity per point
     int jobs = 1;                  ///< worker threads for point fan-out
@@ -62,6 +65,16 @@ struct SweepOptions
  * reported in the row's status column instead of aborting the sweep.
  */
 ResultTable runSweep(const SweepOptions &options);
+
+/**
+ * Sweep a registered covert channel (`hr_bench sweep --channel=NAME`)
+ * over the same grid machinery: one row per grid point with raw and
+ * effective capacity, BER, sync-failure rate, and the Shannon
+ * estimate. `trials` is the number of transmissions accumulated per
+ * point; grid/param keys are validated against the channel's
+ * documented keys (channel-level + gadget) up front.
+ */
+ResultTable runChannelSweep(const SweepOptions &options);
 
 } // namespace hr
 

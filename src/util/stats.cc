@@ -167,7 +167,9 @@ std::string
 Histogram::renderJson() const
 {
     std::string out = "{\"lo\": " + jsonNum(lo_) +
-                      ", \"hi\": " + jsonNum(hi_) + ", \"bins\": [";
+                      ", \"hi\": " + jsonNum(hi_) +
+                      ", \"dropped\": " + std::to_string(dropped_) +
+                      ", \"bins\": [";
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         if (i > 0)
             out += ", ";
@@ -184,7 +186,20 @@ Histogram::renderCsv() const
     for (std::size_t i = 0; i < counts_.size(); ++i)
         out += jsonNum(binCenter(i)) + "," + std::to_string(counts_[i]) +
                "\n";
+    out += "# dropped: " + std::to_string(dropped_) + "\n";
     return out;
+}
+
+std::string
+SampleStats::renderJson() const
+{
+    return "{\"count\": " + std::to_string(count()) +
+           ", \"dropped\": " + std::to_string(dropped_) +
+           ", \"mean\": " + jsonNum(mean()) +
+           ", \"stddev\": " + jsonNum(stddev()) +
+           ", \"min\": " + jsonNum(min()) +
+           ", \"max\": " + jsonNum(max()) +
+           ", \"median\": " + jsonNum(median()) + "}";
 }
 
 double

@@ -48,6 +48,13 @@ class SampleStats
     /** Read-only access to raw samples. */
     const std::vector<double> &samples() const { return samples_; }
 
+    /**
+     * JSON summary object: count, mean, stddev, min, max, median —
+     * and the dropped() non-finite counter, so a noisy sweep that
+     * rejected samples cannot serialize as if it had seen them all.
+     */
+    std::string renderJson() const;
+
   private:
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;
@@ -90,10 +97,18 @@ class Histogram
     /** Multi-line ASCII rendering (for bench output). */
     std::string render(std::size_t width = 50) const;
 
-    /** JSON object: binning parameters plus [center, count] pairs. */
+    /**
+     * JSON object: binning parameters, [center, count] pairs, and
+     * the dropped() non-finite counter (total is recoverable from
+     * the bins; dropped samples are visible nowhere else).
+     */
     std::string renderJson() const;
 
-    /** CSV: "bin_center,count" header then one row per bin. */
+    /**
+     * CSV: "bin_center,count" header then one row per bin, with a
+     * trailing `# dropped: N` comment line (the section-comment
+     * convention of ResultTable's CSV output).
+     */
     std::string renderCsv() const;
 
   private:

@@ -209,6 +209,38 @@ TEST(Histogram, DropsNonFiniteSamples)
     EXPECT_EQ(hist.binCount(0), 1u);
 }
 
+TEST(SampleStats, JsonSummaryIncludesDropped)
+{
+    SampleStats stats;
+    stats.add(1.0);
+    stats.add(std::numeric_limits<double>::quiet_NaN());
+    stats.add(3.0);
+    const std::string json = stats.renderJson();
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"dropped\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"mean\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"median\": "), std::string::npos) << json;
+}
+
+TEST(Histogram, EmittersIncludeDropped)
+{
+    Histogram hist(0, 10, 5);
+    hist.add(5.0);
+    hist.add(std::numeric_limits<double>::infinity());
+    hist.add(std::numeric_limits<double>::quiet_NaN());
+    const std::string json = hist.renderJson();
+    EXPECT_NE(json.find("\"dropped\": 2"), std::string::npos) << json;
+    const std::string csv = hist.renderCsv();
+    EXPECT_NE(csv.find("# dropped: 2"), std::string::npos) << csv;
+    // A clean histogram still reports the counter (schema stability).
+    Histogram clean(0, 10, 5);
+    clean.add(1.0);
+    EXPECT_NE(clean.renderJson().find("\"dropped\": 0"),
+              std::string::npos);
+    EXPECT_NE(clean.renderCsv().find("# dropped: 0"),
+              std::string::npos);
+}
+
 TEST(StatsHelpers, CorrelationAndSlope)
 {
     std::vector<double> x{1, 2, 3, 4, 5};
