@@ -83,52 +83,69 @@ class TabChannelCapacity : public Scenario
                 std::make_unique<MachinePool>(base_configs.back()));
         }
 
-        const std::vector<Cell> cells = ctx.parallelMap(
-            num_channels * num_profiles, [&](int index, Rng &rng) {
-                const ChannelInfo &info =
-                    *channels[static_cast<std::size_t>(index /
-                                                       num_profiles)];
-                const int p = index % num_profiles;
-                Cell cell;
-                cell.channel = info.name;
-                cell.gadget = info.gadget;
-                cell.modulation = info.modulation;
-                cell.profile = kProfiles[p];
-                try {
-                    auto lease = pools[static_cast<std::size_t>(p)]
-                                     ->lease();
-                    Machine &machine = lease.machine();
-                    ScenarioContext::reseedMachine(
-                        machine, base_configs[static_cast<std::size_t>(p)],
-                        ctx.indexSeed(index));
-
-                    ParamSet overrides;
-                    overrides.set("frame_bits",
-                                  std::to_string(frame_bits));
-                    Channel channel(
-                        ChannelRegistry::instance().makeConfig(
-                            info.name, overrides));
-                    if (!channel.compatible(machine)) {
-                        cell.status = "incompatible";
-                        return cell;
-                    }
+        // Cells run per profile through poolMap, so at --jobs 1 each
+        // profile's channels go through the lockstep batched path
+        // (every cell's reseed diverges its follower — batching is
+        // exercised, output is unchanged). Payload RNG is re-derived
+        // from the flat channel x profile index so results stay
+        // byte-identical to the interleaved ordering at any --jobs.
+        std::vector<std::vector<Cell>> by_profile;
+        for (int p = 0; p < num_profiles; ++p) {
+            by_profile.push_back(ctx.poolMap(
+                *pools[static_cast<std::size_t>(p)], num_channels,
+                [&](int c, Rng &, Machine &machine) {
+                    const int index = c * num_profiles + p;
+                    Rng rng(ctx.indexSeed(index));
+                    const ChannelInfo &info =
+                        *channels[static_cast<std::size_t>(c)];
+                    Cell cell;
+                    cell.channel = info.name;
+                    cell.gadget = info.gadget;
+                    cell.modulation = info.modulation;
+                    cell.profile = kProfiles[p];
                     try {
-                        channel.prepare(machine);
-                    } catch (const std::exception &) {
-                        cell.status = "calib_fail";
-                        return cell;
-                    }
-                    cell.separable = channel.demodulator().separable();
+                        ScenarioContext::reseedMachine(
+                            machine,
+                            base_configs[static_cast<std::size_t>(p)],
+                            ctx.indexSeed(index));
 
-                    std::vector<bool> payload;
-                    for (int i = 0; i < frames * frame_bits; ++i)
-                        payload.push_back(rng.chance(0.5));
-                    cell.stats = channel.run(machine, payload);
-                } catch (const std::exception &e) {
-                    cell.status = std::string("error: ") + e.what();
-                }
-                return cell;
-            });
+                        ParamSet overrides;
+                        overrides.set("frame_bits",
+                                      std::to_string(frame_bits));
+                        Channel channel(
+                            ChannelRegistry::instance().makeConfig(
+                                info.name, overrides));
+                        if (!channel.compatible(machine)) {
+                            cell.status = "incompatible";
+                            return cell;
+                        }
+                        try {
+                            channel.prepare(machine);
+                        } catch (const std::exception &) {
+                            cell.status = "calib_fail";
+                            return cell;
+                        }
+                        cell.separable =
+                            channel.demodulator().separable();
+
+                        std::vector<bool> payload;
+                        for (int i = 0; i < frames * frame_bits; ++i)
+                            payload.push_back(rng.chance(0.5));
+                        cell.stats = channel.run(machine, payload);
+                    } catch (const std::exception &e) {
+                        cell.status = std::string("error: ") + e.what();
+                    }
+                    return cell;
+                }));
+        }
+        std::vector<Cell> cells;
+        cells.reserve(static_cast<std::size_t>(num_channels) *
+                      static_cast<std::size_t>(num_profiles));
+        for (int c = 0; c < num_channels; ++c)
+            for (int p = 0; p < num_profiles; ++p)
+                cells.push_back(std::move(
+                    by_profile[static_cast<std::size_t>(p)]
+                              [static_cast<std::size_t>(c)]));
 
         Table table({"channel", "gadget", "mod", "profile", "status",
                      "raw kb/s", "eff kb/s", "BER", "sync fail",

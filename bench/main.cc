@@ -74,6 +74,8 @@ usage()
         "  --profile=NAME       override the scenario's machine profile\n"
         "  --param key=value    scenario-specific parameter "
         "(repeatable)\n"
+        "  --no-batch           disable lockstep trial batching "
+        "(same output, slower)\n"
         "\n"
         "sweep options (plus the run options above):\n"
         "  --gadget=NAME        gadget to sweep (see `gadgets`)\n"
@@ -146,6 +148,9 @@ struct Cli
             if (arg == "--all") {
                 cli.run_all = true;
                 cli.seen.push_back("all");
+            } else if (arg == "--no-batch") {
+                cli.options.batch = false;
+                cli.seen.push_back("no-batch");
             } else if (arg == "--quick") {
                 cli.quick = true;
                 cli.seen.push_back("quick");
@@ -281,11 +286,11 @@ rejectStray(const Cli &cli, const std::string &command)
     std::vector<std::string> allowed = {"format"};
     if (command == "run") {
         allowed.insert(allowed.end(), {"all", "trials", "jobs", "seed",
-                                       "profile", "param"});
+                                       "profile", "param", "no-batch"});
     } else if (command == "sweep") {
         allowed.insert(allowed.end(), {"gadget", "channel", "grid",
                                        "trials", "jobs", "seed",
-                                       "profile", "param"});
+                                       "profile", "param", "no-batch"});
     } else if (command == "perf") {
         allowed.insert(allowed.end(), {"quick", "suite", "out",
                                        "baseline", "tolerance", "seed"});
@@ -365,6 +370,7 @@ cmdSweep(const Cli &cli)
     options.jobs = cli.options.jobs;
     options.seed = cli.options.seed;
     options.params = cli.options.params;
+    options.batch = cli.options.batch;
     for (const std::string &arg : cli.grid_args)
         options.grid.push_back(parseSweepAxis(arg));
     if (cli.options.format == Format::Table)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exp/batch.hh"
 #include "gadgets/gadget_registry.hh"
 #include "sim/noise.hh"
 #include "util/log.hh"
@@ -227,6 +228,27 @@ Channel::run(Machine &machine, const std::vector<bool> &payload)
         }
     }
     return stats;
+}
+
+std::vector<ChannelStats>
+Channel::runBatched(BatchRunner &batch,
+                    const std::vector<std::vector<bool>> &payloads)
+{
+    std::vector<ChannelStats> results(payloads.size());
+    batch.forEach(payloads.size(),
+                  [&](Machine &machine, std::size_t i) {
+                      results[i] = run(machine, payloads[i]);
+                  });
+    return results;
+}
+
+std::vector<ChannelStats>
+Channel::runBatched(MachinePool &pool,
+                    const std::vector<std::vector<bool>> &payloads)
+{
+    BatchRunner batch(pool,
+                      [this](Machine &machine) { prepare(machine); });
+    return runBatched(batch, payloads);
 }
 
 } // namespace hr

@@ -36,30 +36,6 @@ PerfCounters::ipc() const
            static_cast<double>(cycles);
 }
 
-namespace
-{
-
-/** True if the op architecturally writes its dst register. */
-bool
-writesReg(const Instruction &inst)
-{
-    if (inst.dst == kNoReg)
-        return false;
-    switch (inst.op) {
-      case Opcode::Store:
-      case Opcode::Prefetch:
-      case Opcode::Branch:
-      case Opcode::Jump:
-      case Opcode::Halt:
-      case Opcode::Nop:
-        return false;
-      default:
-        return true;
-    }
-}
-
-} // namespace
-
 OooCore::OooCore(const CoreConfig &config, Hierarchy &hierarchy,
                  MemoryImage &memory, BranchPredictor &predictor,
                  int contexts)
@@ -134,7 +110,8 @@ OooCore::resetPipeline()
             recycleEntry(std::move(entry));
         c.rob.clear();
         c.renameTable.assign(c.renameTable.size(), nullptr);
-        c.program = nullptr;
+        c.decoded = nullptr;
+        c.programId = 0;
         c.active = false;
         c.halted = false;
         c.inflightStores = 0;
@@ -183,7 +160,7 @@ OooCore::recycleEntry(std::unique_ptr<RobEntry> entry)
 std::int64_t
 OooCore::computeAlu(const RobEntry &entry) const
 {
-    const Instruction &inst = entry.inst;
+    const Instruction &inst = *entry.inst;
     const std::int64_t v0 = entry.srcVal[0];
     const std::int64_t rhs =
         inst.src1 != kNoReg ? entry.srcVal[1] : inst.imm;
@@ -225,7 +202,7 @@ Addr
 OooCore::computeEa(const RobEntry &entry) const
 {
     // Address arithmetic wraps modulo 2^64 (uint64), like computeAlu.
-    const Instruction &inst = entry.inst;
+    const Instruction &inst = *entry.inst;
     std::uint64_t ea = static_cast<std::uint64_t>(inst.imm);
     if (inst.src0 != kNoReg)
         ea += static_cast<std::uint64_t>(entry.srcVal[0]) *
@@ -239,20 +216,22 @@ OooCore::computeEa(const RobEntry &entry) const
 }
 
 void
-OooCore::startContext(ContextId ctx, const Program &program,
+OooCore::startContext(ContextId ctx, const DecodedProgram &decoded,
+                      std::uint64_t program_id,
                       const std::vector<std::pair<RegId, std::int64_t>>
                           &initial_regs)
 {
-    fatalIf(program.id == 0,
+    fatalIf(program_id == 0,
             "OooCore::run: program has no id (run it via a Machine)");
     panicIf(ctx >= ctxs_.size(), "OooCore: context out of range");
     CtxState &c = ctxs_[ctx];
     panicIf(c.active, "OooCore: context started twice");
-    c.program = &program;
+    c.decoded = &decoded;
+    c.programId = program_id;
     c.active = true;
     c.halted = false;
 
-    const std::size_t nregs = std::max<std::size_t>(program.numRegs, 1);
+    const std::size_t nregs = std::max<std::size_t>(decoded.numRegs, 1);
     c.regfile.assign(nregs, 0);
     for (const auto &[reg, value] : initial_regs) {
         fatalIf(reg >= nregs, "initial reg out of range");
@@ -285,7 +264,8 @@ OooCore::abortContext(CtxState &c)
         c.rob.pop_back();
     }
     c.renameTable.assign(c.renameTable.size(), nullptr);
-    c.program = nullptr;
+    c.decoded = nullptr;
+    c.programId = 0;
     c.active = false;
     c.halted = false;
     c.inflightStores = 0;
@@ -298,7 +278,7 @@ OooCore::markReady(RobEntry &entry)
     entry.status = Status::Ready;
     const std::uint64_t key =
         config_.readyOrderIssue ? readyStamp_++ : entry.seq;
-    readyQueue_[static_cast<int>(entry.inst.fuClass())].push(
+    readyQueue_[static_cast<int>(entry.dop->fu)].push(
         {key, entry.seq, &entry});
 }
 
@@ -309,14 +289,14 @@ OooCore::resolveEaIfReady(RobEntry &entry)
     // store's EA resolves as soon as its address sources are ready,
     // even if the store data is still pending, so younger loads are
     // not conservatively blocked on store data.
-    if (entry.eaValid || !isMemOp(entry.inst.op))
+    if (entry.eaValid || !entry.dop->isMem)
         return;
     // A source with scale 0 is an ordering-only dependence: it gates
     // issue but contributes nothing to the address.
     const bool src0_ok =
-        entry.srcProducer[0] == kNoSeq || entry.inst.scale0 == 0;
+        entry.srcProducer[0] == kNoSeq || entry.inst->scale0 == 0;
     const bool src1_ok =
-        entry.srcProducer[1] == kNoSeq || entry.inst.scale1 == 0;
+        entry.srcProducer[1] == kNoSeq || entry.inst->scale1 == 0;
     if (src0_ok && src1_ok) {
         entry.ea = computeEa(entry);
         entry.eaValid = true;
@@ -351,13 +331,13 @@ OooCore::resolveBranch(RobEntry &entry)
     CtxState &c = ctxOf(entry);
     const bool taken = entry.value != 0;
     const auto key =
-        BranchPredictor::makeKey(c.program->id, entry.pc);
+        BranchPredictor::makeKey(c.programId, entry.pc);
     predictor_.update(key, taken);
     if (taken != entry.predictedTaken) {
         ++counters_.mispredicts;
         ++c.counters.mispredicts;
         const std::int32_t correct_pc =
-            taken ? entry.inst.target : entry.pc + 1;
+            taken ? entry.inst->target : entry.pc + 1;
         squashAfter(c, entry.seq, correct_pc);
     }
 }
@@ -369,9 +349,9 @@ OooCore::squashAfter(CtxState &c, std::uint64_t seq, std::int32_t new_pc)
         RobEntry &victim = *c.rob.back();
         ++counters_.squashedInstrs;
         ++c.counters.squashedInstrs;
-        if (victim.inst.op == Opcode::Store)
+        if (victim.inst->op == Opcode::Store)
             --c.inflightStores;
-        if (victim.inst.op == Opcode::Branch &&
+        if (victim.inst->op == Opcode::Branch &&
             victim.status != Status::Completed) {
             --c.inflightBranches;
         }
@@ -390,8 +370,8 @@ OooCore::squashAfter(CtxState &c, std::uint64_t seq, std::int32_t new_pc)
     // Rebuild the rename table from the surviving entries.
     std::fill(c.renameTable.begin(), c.renameTable.end(), nullptr);
     for (auto &entry : c.rob) {
-        if (writesReg(entry->inst))
-            c.renameTable[entry->inst.dst] = entry.get();
+        if (entry->dop->writesDst)
+            c.renameTable[entry->inst->dst] = entry.get();
     }
 
     c.fetchPc = new_pc;
@@ -408,11 +388,11 @@ OooCore::processCompletions()
         RobEntry *entry = ev.entry;
         if (entry->seq != ev.seq || entry->status != Status::Issued)
             continue; // squashed (or stale)
-        if (entry->inst.op == Opcode::Load && !entry->forwarded)
+        if (entry->inst->op == Opcode::Load && !entry->forwarded)
             entry->value = memory_.read(entry->ea);
         entry->status = Status::Completed;
         wakeConsumers(*entry);
-        if (entry->inst.op == Opcode::Branch) {
+        if (entry->inst->op == Opcode::Branch) {
             --ctxOf(*entry).inflightBranches;
             resolveBranch(*entry);
         }
@@ -428,7 +408,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
         entry.ea = computeEa(entry);
         entry.eaValid = true;
     }
-    const Opcode op = entry.inst.op;
+    const Opcode op = entry.inst->op;
     CtxState &c = ctxOf(entry);
 
     if (op == Opcode::Store) {
@@ -451,7 +431,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
         for (const auto &older : c.rob) {
             if (older->seq >= entry.seq)
                 break;
-            if (older->inst.op != Opcode::Store)
+            if (older->inst->op != Opcode::Store)
                 continue;
             if (!older->eaValid)
                 return false; // unresolved older store: wait
@@ -480,7 +460,7 @@ OooCore::tryIssueMemOp(RobEntry &entry)
         for (const auto &other : c.rob) {
             if (other->seq >= entry.seq)
                 break;
-            if (other->inst.op == Opcode::Branch &&
+            if (other->inst->op == Opcode::Branch &&
                 other->status != Status::Completed) {
                 older_branch = true;
                 break;
@@ -552,7 +532,7 @@ OooCore::issueStage()
                 queue.pop(); // stale (squashed or re-routed)
                 continue;
             }
-            if (isMemOp(entry->inst.op)) {
+            if (entry->dop->isMem) {
                 queue.pop();
                 if (tryIssueMemOp(*entry)) {
                     entry->status = Status::Issued;
@@ -584,42 +564,33 @@ OooCore::issueStage()
 bool
 OooCore::fetchOne(CtxState &c)
 {
-    const Instruction &inst = c.program->code[c.fetchPc];
+    const Instruction &inst = c.decoded->code[c.fetchPc];
+    const DecodedOp &dop = c.decoded->ops[c.fetchPc];
     auto entry = takeEntry();
     entry->seq = nextSeq_++;
     entry->pc = c.fetchPc;
     entry->ctx = static_cast<ContextId>(&c - ctxs_.data());
-    entry->inst = inst;
+    entry->inst = &inst;
+    entry->dop = &dop;
     entry->srcProducer[0] = kNoSeq;
     entry->srcProducer[1] = kNoSeq;
     entry->srcProducer[2] = kNoSeq;
 
-    // Next fetch pc (possibly speculative).
-    switch (inst.op) {
-      case Opcode::Branch: {
-        const auto key = BranchPredictor::makeKey(c.program->id,
+    // Next fetch pc (possibly speculative); precomputed except for the
+    // predicted direction of a conditional branch.
+    if (dop.next == NextPcKind::Branch) {
+        const auto key = BranchPredictor::makeKey(c.programId,
                                                   c.fetchPc);
         entry->predictedTaken = predictor_.predict(key);
-        c.fetchPc = entry->predictedTaken ? inst.target : c.fetchPc + 1;
-        break;
-      }
-      case Opcode::Jump:
-        c.fetchPc = inst.target;
-        break;
-      case Opcode::Halt:
-        c.fetchPc =
-            static_cast<std::int32_t>(c.program->code.size());
-        break;
-      default:
-        ++c.fetchPc;
+        c.fetchPc = entry->predictedTaken ? dop.nextPc : c.fetchPc + 1;
+    } else {
+        c.fetchPc = dop.nextPc;
     }
 
-    // Rename: capture sources. Stores read their data via slot 2.
-    RegId srcs[3] = {inst.src0, inst.src1, kNoReg};
-    if (inst.op == Opcode::Store)
-        srcs[2] = inst.dst;
+    // Rename: capture sources (slot layout predecoded; stores read
+    // their data via slot 2).
     for (int slot = 0; slot < 3; ++slot) {
-        const RegId reg = srcs[slot];
+        const RegId reg = dop.srcs[slot];
         if (reg == kNoReg)
             continue;
         RobEntry *producer = c.renameTable[reg];
@@ -635,7 +606,7 @@ OooCore::fetchOne(CtxState &c)
         }
     }
 
-    if (writesReg(inst))
+    if (dop.writesDst)
         c.renameTable[inst.dst] = entry.get();
     if (inst.op == Opcode::Store)
         ++c.inflightStores;
@@ -748,8 +719,8 @@ OooCore::commitStage()
             if (head.status != Status::Completed)
                 break;
 
-            const Instruction &inst = head.inst;
-            if (writesReg(inst)) {
+            const Instruction &inst = *head.inst;
+            if (head.dop->writesDst) {
                 c.regfile[inst.dst] = head.value;
                 if (c.renameTable[inst.dst] == &head)
                     c.renameTable[inst.dst] = nullptr;
@@ -872,23 +843,25 @@ OooCore::advanceTime(Cycle target)
 }
 
 RunResult
-OooCore::run(const Program &program,
+OooCore::run(const DecodedProgram &decoded, std::uint64_t program_id,
              const std::vector<std::pair<RegId, std::int64_t>>
                  &initial_regs,
              Cycle max_cycles)
 {
-    return runOn(0, program, initial_regs, max_cycles);
+    return runOn(0, decoded, program_id, initial_regs, max_cycles);
 }
 
 RunResult
-OooCore::runOn(ContextId ctx, const Program &program,
+OooCore::runOn(ContextId ctx, const DecodedProgram &decoded,
+               std::uint64_t program_id,
                const std::vector<std::pair<RegId, std::int64_t>>
                    &initial_regs,
                Cycle max_cycles)
 {
     ContextProgram primary;
     primary.ctx = ctx;
-    primary.program = &program;
+    primary.decoded = &decoded;
+    primary.programId = program_id;
     primary.initialRegs = initial_regs;
     return coRun(primary, {}, max_cycles);
 }
@@ -898,14 +871,15 @@ OooCore::coRun(const ContextProgram &primary,
                const std::vector<ContextProgram> &backgrounds,
                Cycle max_cycles)
 {
-    panicIf(primary.program == nullptr, "coRun: no primary program");
+    panicIf(primary.decoded == nullptr, "coRun: no primary program");
     resetPipeline();
-    startContext(primary.ctx, *primary.program, primary.initialRegs);
+    startContext(primary.ctx, *primary.decoded, primary.programId,
+                 primary.initialRegs);
     for (const ContextProgram &bg : backgrounds) {
         fatalIf(bg.ctx == primary.ctx,
                 "coRun: background on the primary context");
-        panicIf(bg.program == nullptr, "coRun: no background program");
-        startContext(bg.ctx, *bg.program, bg.initialRegs);
+        panicIf(bg.decoded == nullptr, "coRun: no background program");
+        startContext(bg.ctx, *bg.decoded, bg.programId, bg.initialRegs);
     }
 
     if (config_.interruptInterval > 0 && nextInterrupt_ <= cycle_)

@@ -37,6 +37,7 @@
 #include "cache/hierarchy.hh"
 #include "core/branch_predictor.hh"
 #include "core/func_unit.hh"
+#include "isa/decoded_program.hh"
 #include "isa/program.hh"
 #include "util/memory_image.hh"
 #include "util/types.hh"
@@ -130,11 +131,17 @@ struct RunResult
     Cycle cycles() const { return endCycle - startCycle; }
 };
 
-/** One (context, program) pairing handed to OooCore::coRun. */
+/**
+ * One (context, program) pairing handed to OooCore::coRun. The core
+ * executes from the decoded image (see isa/decoded_program.hh); the
+ * program id travels separately because content-identical programs
+ * share one decoded image while keeping distinct predictor state.
+ */
 struct ContextProgram
 {
     ContextId ctx = 0;
-    const Program *program = nullptr;
+    const DecodedProgram *decoded = nullptr;
+    std::uint64_t programId = 0;
     std::vector<std::pair<RegId, std::int64_t>> initialRegs;
 };
 
@@ -192,21 +199,23 @@ class OooCore
     const PerfCounters &contextCounters(ContextId ctx) const;
 
     /**
-     * Execute a program to completion (Halt commit or natural end) on
-     * context 0, with every other context idle.
+     * Execute a decoded program to completion (Halt commit or natural
+     * end) on context 0, with every other context idle.
      *
-     * @param program   code to run (program.id must be assigned)
+     * @param decoded    decoded code to run (see Machine::decodeProgram)
+     * @param program_id  assigned Program::id (keys predictor state)
      * @param initial_regs  values for registers before the first
      *                      instruction; all others start at zero
      * @param max_cycles    safety limit for this run
      */
-    RunResult run(const Program &program,
+    RunResult run(const DecodedProgram &decoded, std::uint64_t program_id,
                   const std::vector<std::pair<RegId, std::int64_t>>
                       &initial_regs = {},
                   Cycle max_cycles = 500'000'000);
 
     /** run() on an arbitrary context (the others stay idle). */
-    RunResult runOn(ContextId ctx, const Program &program,
+    RunResult runOn(ContextId ctx, const DecodedProgram &decoded,
+                    std::uint64_t program_id,
                     const std::vector<std::pair<RegId, std::int64_t>>
                         &initial_regs = {},
                     Cycle max_cycles = 500'000'000);
@@ -233,7 +242,13 @@ class OooCore
         std::uint64_t seq = 0;
         std::int32_t pc = 0;
         ContextId ctx = 0;
-        Instruction inst;
+        /**
+         * Into the owning context's DecodedProgram (which the Machine
+         * keeps alive for the duration of the run). Entries are
+         * recycled at run end, so neither pointer outlives the image.
+         */
+        const Instruction *inst = nullptr;
+        const DecodedOp *dop = nullptr;
         Status status = Status::Waiting;
         int pendingSrcs = 0;
         std::int64_t srcVal[3] = {0, 0, 0};
@@ -278,7 +293,8 @@ class OooCore
         PerfCounters counters; ///< cumulative, persists across runs
 
         // --- per-run state ---
-        const Program *program = nullptr;
+        const DecodedProgram *decoded = nullptr;
+        std::uint64_t programId = 0;
         bool active = false; ///< started and not yet finished/aborted
         bool halted = false;
         std::vector<std::int64_t> regfile;
@@ -366,9 +382,9 @@ class OooCore
     bool
     fetchExhausted(const CtxState &c) const
     {
-        return c.program == nullptr ||
+        return c.decoded == nullptr ||
                c.fetchPc >=
-                   static_cast<std::int32_t>(c.program->code.size());
+                   static_cast<std::int32_t>(c.decoded->size());
     }
 
     bool
@@ -388,7 +404,8 @@ class OooCore
     std::int64_t computeAlu(const RobEntry &entry) const;
     Addr computeEa(const RobEntry &entry) const;
     void resetPipeline();
-    void startContext(ContextId ctx, const Program &program,
+    void startContext(ContextId ctx, const DecodedProgram &decoded,
+                      std::uint64_t program_id,
                       const std::vector<std::pair<RegId, std::int64_t>>
                           &initial_regs);
     void abortContext(CtxState &c);

@@ -41,11 +41,10 @@ Detector::profile(Machine &machine, Program &program)
     // global L1 delta, and under a noisy co-run it isolates the
     // profiled workload's own misses — a per-thread counter, which is
     // what a real per-process monitor reads.
-    const ContextAccessStats before =
-        machine.hierarchy().contextStats(0);
+    const ContextAccessStats before = machine.contextStats(0);
     RunResult result = machine.run(program);
     const std::uint64_t misses =
-        (machine.hierarchy().contextStats(0) - before).misses;
+        (machine.contextStats(0) - before).misses;
     return featuresOf(result, misses);
 }
 

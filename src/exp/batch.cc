@@ -1,0 +1,68 @@
+#include "exp/batch.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+BatchRunner::BatchRunner(MachinePool &pool, Setup setup, Options options)
+    : lease_(pool.lease()), options_(options)
+{
+    fatalIf(options_.width < 1, "BatchRunner: width must be >= 1");
+    if (setup)
+        setup(lease_.machine());
+    base_ = lease_.machine().snapshot();
+}
+
+void
+BatchRunner::forEach(std::size_t count, const TrialFn &fn)
+{
+    Machine &m = lease_.machine();
+    const std::size_t width = static_cast<std::size_t>(options_.width);
+    std::size_t start = 0;
+    while (start < count) {
+        const std::size_t end = std::min(count, start + width);
+
+        // Leader: full simulation, recorded.
+        if (dirty_)
+            m.restore(base_);
+        TrialTrace trace;
+        m.beginRecord(trace);
+        fn(m, start);
+        m.endRecord();
+        dirty_ = true;
+        ++stats_.leaders;
+        ++stats_.trials;
+
+        if (trace.opaque) {
+            // The leader snapshotted/restored or changed backgrounds;
+            // the trace can't stand in for execution, so followers run
+            // the plain scalar loop.
+            for (std::size_t i = start + 1; i < end; ++i) {
+                m.restore(base_);
+                fn(m, i);
+                ++stats_.scalar;
+                ++stats_.trials;
+            }
+        } else {
+            // Followers: replay, falling back to scalar on divergence.
+            // Clean replays never touch machine state, so they need no
+            // restore — the machine simply stays at the leader's (or
+            // last diverged follower's) end state.
+            for (std::size_t i = start + 1; i < end; ++i) {
+                m.beginReplay(trace, base_);
+                fn(m, i);
+                if (m.endReplay())
+                    ++stats_.replayed;
+                else
+                    ++stats_.diverged;
+                ++stats_.trials;
+            }
+        }
+        start = end;
+    }
+}
+
+} // namespace hr

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "channel/channel_registry.hh"
+#include "exp/batch.hh"
 #include "exp/machine_pool.hh"
 #include "exp/registry.hh"
 #include "exp/runner.hh"
@@ -257,7 +258,16 @@ runPerfSuites(const PerfOptions &options)
             }));
     }
 
-    double fresh_rate = 0, restore_rate = 0;
+    // The batch-path tolerance: replay regressions are large and
+    // low-variance, so these suites gate tighter than the global 25%.
+    // Ratio suites are the opposite: they divide two independently
+    // noisy measurements and cannot be host-normalized, so they get
+    // extra slack — wide enough to ride out scheduler noise, still
+    // far tighter than the ~10x collapse a broken replay path causes.
+    constexpr double kBatchTolerance = 0.15;
+    constexpr double kRatioTolerance = 0.40;
+
+    double fresh_rate = 0, restore_rate = 0, scalar_rate = 0;
     if (wanted("trial_path_fresh") || wanted("trial_path_speedup")) {
         note("trial_path_fresh");
         const MachineConfig config =
@@ -276,13 +286,13 @@ runPerfSuites(const PerfOptions &options)
         if (wanted("trial_path_fresh"))
             suites.push_back(suite);
     }
-    if (wanted("trial_path_restore") || wanted("trial_path_speedup")) {
-        note("trial_path_restore");
+    if (wanted("trial_path_scalar") || wanted("batch_speedup")) {
+        note("trial_path_scalar");
         MachinePool pool(machineConfigForProfile("effective_window"));
         PerfSuite suite = measureRate(
-            "trial_path_restore",
+            "trial_path_scalar",
             "single-shot racing trials per second, pooled "
-            "snapshot/restore",
+            "snapshot/restore (scalar: every trial fully simulated)",
             budget, [&]() {
                 for (int i = 0; i < 16; ++i) {
                     auto lease = pool.lease();
@@ -290,6 +300,26 @@ runPerfSuites(const PerfOptions &options)
                 }
                 return 16;
             });
+        scalar_rate = suite.value;
+        if (wanted("trial_path_scalar"))
+            suites.push_back(suite);
+    }
+    if (wanted("trial_path_restore") || wanted("trial_path_speedup") ||
+        wanted("batch_speedup")) {
+        note("trial_path_restore");
+        MachinePool pool(machineConfigForProfile("effective_window"));
+        BatchRunner batch(pool);
+        PerfSuite suite = measureRate(
+            "trial_path_restore",
+            "single-shot racing trials per second, pooled + lockstep "
+            "batched (width 32; the default trial path)",
+            budget, [&]() {
+                batch.forEach(32, [](Machine &machine, std::size_t) {
+                    racingObservation(machine);
+                });
+                return 32;
+            });
+        suite.tolerance = kBatchTolerance;
         restore_rate = suite.value;
         if (wanted("trial_path_restore"))
             suites.push_back(suite);
@@ -297,11 +327,63 @@ runPerfSuites(const PerfOptions &options)
     if (wanted("trial_path_speedup") && fresh_rate > 0) {
         PerfSuite suite;
         suite.name = "trial_path_speedup";
-        suite.metric = "trial_path_restore over trial_path_fresh";
+        suite.metric =
+            "trial_path_restore (batched) over trial_path_fresh";
         suite.unit = "x";
         suite.value = restore_rate / fresh_rate;
         suite.iterations = 1;
         suite.normalize = false;
+        suite.tolerance = kRatioTolerance;
+        suites.push_back(suite);
+    }
+    if (wanted("batch_speedup") && scalar_rate > 0) {
+        PerfSuite suite;
+        suite.name = "batch_speedup";
+        suite.metric =
+            "trial_path_restore (batched) over trial_path_scalar";
+        suite.unit = "x";
+        suite.value = restore_rate / scalar_rate;
+        suite.iterations = 1;
+        suite.normalize = false;
+        suite.tolerance = kRatioTolerance;
+        suites.push_back(suite);
+    }
+
+    if (wanted("batched_trial_path")) {
+        note("batched_trial_path");
+        MachinePool pool(machineConfigForProfile("effective_window"));
+        BatchRunner::Options options;
+        options.width = 64;
+        BatchRunner batch(pool, {}, options);
+        PerfSuite suite = measureRate(
+            "batched_trial_path",
+            "single-shot racing trials per second, lockstep batched "
+            "at width 64",
+            budget, [&]() {
+                batch.forEach(64, [](Machine &machine, std::size_t) {
+                    racingObservation(machine);
+                });
+                return 64;
+            });
+        suite.tolerance = kBatchTolerance;
+        suites.push_back(suite);
+    }
+
+    if (wanted("decode_cache_hit")) {
+        note("decode_cache_hit");
+        Machine machine(machineConfigForProfile("default"));
+        Program prog = makeCoreWorkload();
+        machine.decodeProgram(prog); // populate
+        PerfSuite suite = measureRate(
+            "decode_cache_hit",
+            "decoded-image acquisitions per second for an already "
+            "cached program (verified id hit)",
+            budget, [&]() {
+                for (int i = 0; i < 5'000; ++i)
+                    machine.decodeProgram(prog);
+                return 5'000;
+            });
+        suite.tolerance = kBatchTolerance;
         suites.push_back(suite);
     }
 
@@ -320,25 +402,38 @@ runPerfSuites(const PerfOptions &options)
 
     if (wanted("channel_symbol_rate")) {
         note("channel_symbol_rate");
-        Machine machine(machineConfigForProfile("default"));
+        MachinePool pool(machineConfigForProfile("default"));
         ParamSet overrides;
         overrides.set("ecc", "none");
         overrides.set("frame_bits", "8");
         Channel channel(ChannelRegistry::instance().makeConfig(
             "ook_arith", overrides));
-        channel.prepare(machine);
         std::vector<bool> payload;
         for (int i = 0; i < 8; ++i)
             payload.push_back(i % 2 == 0);
-        suites.push_back(measureRate(
+        // The default channel path: lockstep batching over a pooled
+        // machine, prepare() folded into the batch base state. One
+        // group of identical payloads per measurement batch — the
+        // leader simulates, the rest replay.
+        BatchRunner batch(pool, [&](Machine &machine) {
+            channel.prepare(machine);
+        });
+        const std::vector<std::vector<bool>> payloads(32, payload);
+        PerfSuite suite = measureRate(
             "channel_symbol_rate",
             "covert-channel symbols per second (ook_arith, uncoded "
-            "8-bit frames)",
+            "8-bit frames, lockstep batched width 32)",
             budget, [&]() {
-                // One frame per batch: arith symbols are ~ms each.
-                return static_cast<long long>(
-                    channel.run(machine, payload).symbolsSent);
-            }));
+                long long symbols = 0;
+                for (const ChannelStats &stats :
+                     channel.runBatched(batch, payloads)) {
+                    symbols +=
+                        static_cast<long long>(stats.symbolsSent);
+                }
+                return symbols;
+            });
+        suite.tolerance = kBatchTolerance;
+        suites.push_back(suite);
     }
 
     if (wanted("channel_frame_path")) {
@@ -404,7 +499,10 @@ renderPerfJson(const std::vector<PerfSuite> &suites, bool quick)
                ", \"higher_is_better\": " +
                (suite.higherIsBetter ? "true" : "false") +
                ", \"normalize\": " +
-               (suite.normalize ? "true" : "false") + "}";
+               (suite.normalize ? "true" : "false");
+        if (suite.tolerance > 0)
+            out += ", \"tolerance\": " + jsonNum(suite.tolerance);
+        out += "}";
         out += i + 1 < suites.size() ? ",\n" : "\n";
     }
     out += "  ]\n}\n";
@@ -471,6 +569,7 @@ parsePerfBaseline(const std::string &json)
         entry.value = number_field(obj, "value", 0.0);
         entry.higherIsBetter = bool_field(obj, "higher_is_better", true);
         entry.normalize = bool_field(obj, "normalize", false);
+        entry.tolerance = number_field(obj, "tolerance", 0.0);
         if (!entry.name.empty())
             out.push_back(std::move(entry));
         pos = close + 1;
@@ -526,16 +625,22 @@ comparePerf(const std::vector<PerfSuite> &current,
             expected *= suite.higherIsBetter ? host_ratio
                                              : 1.0 / host_ratio;
         }
+        // Per-suite override: the current measurement's (it travels
+        // with the suite code), else the one recorded in the baseline
+        // file, else the global --tolerance.
+        const double tol = suite.tolerance > 0 ? suite.tolerance
+                           : base->tolerance > 0 ? base->tolerance
+                                                 : tolerance;
         const bool failed =
             suite.higherIsBetter
-                ? suite.value < expected * (1.0 - tolerance)
-                : suite.value > expected * (1.0 + tolerance);
+                ? suite.value < expected * (1.0 - tol)
+                : suite.value > expected * (1.0 + tol);
         std::snprintf(line, sizeof(line),
                       "%s %s: %.4g %s vs expected %.4g (baseline %.4g, "
                       "tolerance %.0f%%)\n",
                       failed ? "FAIL " : "ok   ", suite.name.c_str(),
                       suite.value, suite.unit.c_str(), expected,
-                      base->value, tolerance * 100.0);
+                      base->value, tol * 100.0);
         result.report += line;
         result.passed &= !failed;
     }

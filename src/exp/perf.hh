@@ -37,6 +37,15 @@ struct PerfSuite
     long long iterations = 0; ///< work items timed
     bool higherIsBetter = true;
     bool normalize = false; ///< scale by host-speed ratio when comparing
+
+    /**
+     * Per-suite regression tolerance (fraction) overriding the global
+     * --tolerance when > 0. The batch suites gate tighter than the
+     * default 25%: a lockstep-replay regression shows up as a large,
+     * low-variance rate drop, so a loose global tolerance would let
+     * most of the win erode silently.
+     */
+    double tolerance = 0;
 };
 
 /** Knobs for one perf run. */
@@ -57,6 +66,7 @@ struct PerfBaselineEntry
     double value = 0;
     bool higherIsBetter = true;
     bool normalize = false;
+    double tolerance = 0; ///< per-suite override recorded in the file
 };
 
 /** Outcome of a baseline comparison. */
@@ -84,8 +94,10 @@ parsePerfBaseline(const std::string &json);
 /**
  * Compare measured suites against a baseline: a suite fails when it
  * is more than `tolerance` (fraction, e.g. 0.25) worse than the
- * host-speed-normalized baseline value. Suites missing from the
- * baseline are reported but never fail.
+ * host-speed-normalized baseline value. A per-suite tolerance (from
+ * the current measurement, else the baseline file) overrides the
+ * global one. Suites missing from the baseline are reported but
+ * never fail.
  */
 PerfComparison comparePerf(const std::vector<PerfSuite> &current,
                            const std::vector<PerfBaselineEntry> &baseline,

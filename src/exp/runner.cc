@@ -29,7 +29,8 @@ ExperimentRunner::run(Scenario &scenario)
                                     : scenario.defaultProfile();
 
     ScenarioContext ctx(trials, options_.jobs, options_.seed, profile,
-                        options_.params, options_.progress);
+                        options_.params, options_.progress,
+                        options_.batch);
 
     const auto start = std::chrono::steady_clock::now();
     ResultTable result = scenario.run(ctx);

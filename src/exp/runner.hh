@@ -34,6 +34,13 @@ struct RunOptions
     std::string profile; ///< empty = scenario's default profile
     ParamSet params;     ///< --param key=value overrides
 
+    /**
+     * Allow scenarios to lockstep-batch pooled trials at --jobs 1
+     * (ScenarioContext::poolMap); results are byte-identical either
+     * way. --no-batch clears it.
+     */
+    bool batch = true;
+
     /** Progress sink (defaults to stderr in table mode only). */
     std::function<void(const std::string &)> progress;
 };

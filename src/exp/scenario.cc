@@ -13,8 +13,9 @@ namespace hr
 
 ScenarioContext::ScenarioContext(
     int trials, int jobs, std::uint64_t base_seed, std::string profile_name,
-    ParamSet params, std::function<void(const std::string &)> progress)
-    : trials_(trials), jobs_(jobs), baseSeed_(base_seed),
+    ParamSet params, std::function<void(const std::string &)> progress,
+    bool batch)
+    : trials_(trials), jobs_(jobs), batch_(batch), baseSeed_(base_seed),
       profileName_(std::move(profile_name)), params_(std::move(params)),
       progress_(std::move(progress))
 {
@@ -45,10 +46,21 @@ ScenarioContext::reseedMachine(Machine &machine,
                                const MachineConfig &base,
                                std::uint64_t mix)
 {
-    machine.hierarchy().reseed(base.memory.rngSeed ^ mix,
-                               base.memory.l1.rngSeed ^ mix,
-                               base.memory.l2.rngSeed ^ mix,
-                               base.memory.l3.rngSeed ^ mix);
+    // Routed through the traced harness op, not raw
+    // hierarchy().reseed(): the lockstep batched trial path must see
+    // per-point reseeds so a follower with a different mix diverges
+    // instead of silently replaying another point's results. The
+    // machine's own configuration supplies the base seeds, so @p base
+    // must agree with it (it always has: pools are built from the
+    // config passed here).
+    const HierarchyConfig &own = machine.config().memory;
+    fatalIf(base.memory.rngSeed != own.rngSeed ||
+                base.memory.l1.rngSeed != own.l1.rngSeed ||
+                base.memory.l2.rngSeed != own.l2.rngSeed ||
+                base.memory.l3.rngSeed != own.l3.rngSeed,
+            "reseedMachine: base config noise seeds differ from the "
+            "machine's own configuration");
+    machine.reseedNoise(mix);
 }
 
 void

@@ -19,6 +19,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "exp/batch.hh"
+#include "exp/machine_pool.hh"
 #include "exp/result.hh"
 #include "sim/machine.hh"
 #include "util/params.hh"
@@ -42,7 +44,8 @@ class ScenarioContext
 
     ScenarioContext(int trials, int jobs, std::uint64_t base_seed,
                     std::string profile_name, ParamSet params,
-                    std::function<void(const std::string &)> progress);
+                    std::function<void(const std::string &)> progress,
+                    bool batch = true);
 
     /** Requested trial/sample count (scenario default or --trials). */
     int trials() const { return trials_; }
@@ -118,9 +121,54 @@ class ScenarioContext
         return parallelMap(trials_, std::forward<Fn>(fn));
     }
 
+    /** Lockstep batching enabled (--no-batch turns it off). */
+    bool batch() const { return batch_; }
+
+    /**
+     * parallelMap over indices that each need a pooled machine in the
+     * warmed base state: fn(index, rng, machine) with the machine
+     * restored to the pool's base per index.
+     *
+     * Single-worker runs drive the indices through a BatchRunner in
+     * SPMD lockstep instead of leasing per index — indices whose
+     * machine-op streams repeat replay from the leader's trace, and
+     * divergent ones (e.g. a per-index reseedNoise) fall back to
+     * scalar execution transparently. Results are byte-identical to
+     * the lease-per-index path at any --jobs value, which is what the
+     * CI jobs-1-vs-jobs-4 sweep diff pins down.
+     */
+    template <typename Fn>
+    auto
+    poolMap(MachinePool &pool, int count, Fn &&fn) const
+    {
+        using T = std::invoke_result_t<Fn &, int, Rng &, Machine &>;
+        static_assert(!std::is_same_v<T, bool>,
+                      "poolMap body must not return bool");
+        std::vector<T> out(
+            static_cast<std::size_t>(count > 0 ? count : 0));
+        if (batch_ && jobs_ <= 1) {
+            BatchRunner runner(pool);
+            runner.forEach(
+                out.size(), [&](Machine &machine, std::size_t i) {
+                    const int index = static_cast<int>(i);
+                    Rng rng(indexSeed(index));
+                    out[i] = fn(index, rng, machine);
+                });
+            return out;
+        }
+        forEachIndex(count, [&](int index) {
+            Rng rng(indexSeed(index));
+            auto lease = pool.lease();
+            out[static_cast<std::size_t>(index)] =
+                fn(index, rng, lease.machine());
+        });
+        return out;
+    }
+
   private:
     int trials_;
     int jobs_;
+    bool batch_;
     std::uint64_t baseSeed_;
     std::string profileName_;
     ParamSet params_;

@@ -197,18 +197,21 @@ runSweep(const SweepOptions &options)
 
     ScenarioContext ctx(options.trials, options.jobs, options.seed,
                         options.profile, options.params,
-                        options.progress);
+                        options.progress, options.batch);
 
     // Grid points differ only in their RNG streams, so instead of
     // reconstructing a Machine per point (thousands of per-set
-    // replacement allocations), each point leases a pooled machine
+    // replacement allocations), each point runs on a pooled machine
     // restored to the pristine base state and re-seeds the noise
     // streams — bit-identical to a fresh build with the same seeds.
+    // At --jobs 1 the points go through the lockstep batched path
+    // (see ScenarioContext::poolMap); the per-point reseed diverges
+    // every follower, so batching never changes sweep output.
     const MachineConfig base_config = ctx.machineConfig();
     MachinePool machine_pool(base_config);
 
-    const std::vector<SweepRow> rows = ctx.parallelMap(
-        points, [&](int index, Rng &) {
+    const std::vector<SweepRow> rows = ctx.poolMap(
+        machine_pool, points, [&](int index, Rng &, Machine &machine) {
             SweepRow row;
             row.axisValues = axis_values(index);
             ParamSet point;
@@ -220,8 +223,6 @@ runSweep(const SweepOptions &options)
                 // (latency jitter, random-replacement choices) while
                 // staying deterministic per grid index, so repeats
                 // with different seeds are independent replicates.
-                auto lease = machine_pool.lease();
-                Machine &machine = lease.machine();
                 ScenarioContext::reseedMachine(machine, base_config,
                                                ctx.indexSeed(index));
                 auto source =
@@ -332,12 +333,13 @@ runChannelSweep(const SweepOptions &options)
 
     ScenarioContext ctx(options.trials, options.jobs, options.seed,
                         options.profile, options.params,
-                        options.progress);
+                        options.progress, options.batch);
 
     MachinePool machine_pool(base_config);
 
-    const std::vector<ChannelSweepRow> rows = ctx.parallelMap(
-        grid.points, [&](int index, Rng &rng) {
+    const std::vector<ChannelSweepRow> rows = ctx.poolMap(
+        machine_pool, grid.points,
+        [&](int index, Rng &rng, Machine &machine) {
             ChannelSweepRow row;
             row.axisValues = grid.valuesAt(index);
             ParamSet point;
@@ -345,8 +347,6 @@ runChannelSweep(const SweepOptions &options)
                 point.set(options.grid[a].key, row.axisValues[a]);
             const ParamSet params = options.params.overriddenBy(point);
             try {
-                auto lease = machine_pool.lease();
-                Machine &machine = lease.machine();
                 ScenarioContext::reseedMachine(machine, base_config,
                                                ctx.indexSeed(index));
                 Channel channel(ChannelRegistry::instance().makeConfig(

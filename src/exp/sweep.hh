@@ -54,6 +54,12 @@ struct SweepOptions
     ParamSet params;               ///< fixed gadget parameters
     std::vector<SweepAxis> grid;   ///< cartesian axes (may be empty)
 
+    /**
+     * Lockstep-batch grid points at --jobs 1 (see exp/batch.hh);
+     * output is byte-identical either way. --no-batch clears it.
+     */
+    bool batch = true;
+
     /** Progress sink (stderr in table mode; never stdout). */
     std::function<void(const std::string &)> progress;
 };

@@ -125,12 +125,11 @@ PlruMagnifier::buildTraverseProgram()
 MagnifierResult
 PlruMagnifier::traverse()
 {
-    const auto &l1 = machine_.hierarchy().l1();
-    const std::uint64_t misses_before = l1.stats().misses;
+    const std::uint64_t misses_before = machine_.cacheMisses(1);
     RunResult run = machine_.run(traverseProgram_);
     MagnifierResult result;
     result.cycles = run.cycles();
-    result.l1Misses = l1.stats().misses - misses_before;
+    result.l1Misses = machine_.cacheMisses(1) - misses_before;
     return result;
 }
 

@@ -1670,12 +1670,10 @@ class L1ContentionSource final : public TimingSource
         const int assoc = machine.hierarchy().l1().config().assoc;
         for (int way = 0; way < assoc; ++way)
             machine.warm(lineFor(machine, cfg_.set, 100 + way), 1);
-        const ContextAccessStats before =
-            machine.hierarchy().contextStats(probe_ctx);
+        const ContextAccessStats before = machine.contextStats(probe_ctx);
         machine.coRun(0, *primary_[slow ? 1 : 0],
                       {{probe_ctx, probe_.get()}});
-        const ContextAccessStats after =
-            machine.hierarchy().contextStats(probe_ctx);
+        const ContextAccessStats after = machine.contextStats(probe_ctx);
         return static_cast<double>((after - before).misses);
     }
 };

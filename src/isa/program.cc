@@ -1,11 +1,19 @@
 #include "isa/program.hh"
 
+#include <atomic>
 #include <cstdio>
 
 #include "util/log.hh"
 
 namespace hr
 {
+
+std::uint64_t
+allocateProgramId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 std::string
 Program::disassemble() const

@@ -41,6 +41,20 @@ struct Program
 };
 
 /**
+ * Allocate a process-unique Program id (collision-free, monotonic).
+ *
+ * Ids key branch-predictor state and the decode cache, so two distinct
+ * Programs must never share one. The counter is process-wide and never
+ * rolls back — not per-machine and not part of a Machine snapshot —
+ * which is what makes assignment collision-free across pool reuse and
+ * snapshot/restore. Replays stay bit-identical anyway: a freshly
+ * assigned id always starts with cold predictor state, and predictor
+ * keys are injective per (id, pc), so the id's numeric value never
+ * influences simulated timing.
+ */
+std::uint64_t allocateProgramId();
+
+/**
  * Builder for Programs: virtual-register allocation, labels with
  * back-patching, and helpers for the dependence idioms gadgets need
  * (chains, ordering-only loads, proportional interleaving of

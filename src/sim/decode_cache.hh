@@ -1,0 +1,97 @@
+/**
+ * @file
+ * DecodeCache: decoded-trace cache shared by the machines of a pool.
+ *
+ * Keyed primarily by Program::id (the fast path: one hash lookup plus
+ * an O(1) size/register check — acquire runs per machine call, so the
+ * hit path must not scale with program length), with a content-hash
+ * alias map behind it so a program rebuilt from scratch every trial —
+ * the common gadget pattern — still resolves to the one shared decoded
+ * image instead of being re-decoded per trial.
+ *
+ * Invalidation is keyed off Program::id assignment, as the Machine
+ * documents: a program whose code size changed under its old id is
+ * detected on acquire and given a fresh process-unique id
+ * (allocateProgramId) so the stale entry can never be served again;
+ * the sanctioned way to mutate code in place without changing its
+ * length is to reset program.id = 0 afterwards (ProgramBuilder::take
+ * always returns id 0, so built programs are always safe). Debug
+ * builds verify the full instruction stream on every hit and fatal()
+ * on a violation. Fresh ids always start with cold branch-predictor
+ * state, so re-identification never perturbs simulated timing.
+ *
+ * A cache instance carries the MachineConfig fingerprint of the
+ * machines it serves; Machine::shareDecodeCache refuses a cache built
+ * for a different configuration. (Decoding itself is a pure function
+ * of the instruction stream, but the fingerprint keeps the sharing
+ * discipline honest and the cache per-configuration, per the
+ * (Program::id, config fingerprint) keying.)
+ *
+ * Thread-safe: pool machines on parallelMap workers share one cache.
+ */
+
+#ifndef HR_SIM_DECODE_CACHE_HH
+#define HR_SIM_DECODE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/decoded_program.hh"
+
+namespace hr
+{
+
+/** Shared cache of DecodedPrograms (see file comment). */
+class DecodeCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;          ///< served by Program::id
+        std::uint64_t aliased = 0;       ///< served by content match
+        std::uint64_t misses = 0;        ///< decoded fresh
+        std::uint64_t invalidations = 0; ///< in-place mutation detected
+    };
+
+    explicit DecodeCache(std::uint64_t config_fingerprint)
+        : fingerprint_(config_fingerprint)
+    {
+    }
+
+    /** Fingerprint of the MachineConfig this cache serves. */
+    std::uint64_t configFingerprint() const { return fingerprint_; }
+
+    /**
+     * Resolve the decoded image for @p program, assigning it a
+     * process-unique id if it has none — or a fresh one if its code no
+     * longer matches what was cached under its current id (in-place
+     * mutation; the old entry stays valid for programs still carrying
+     * the old content).
+     */
+    std::shared_ptr<const DecodedProgram> acquire(Program &program);
+
+    Stats stats() const;
+
+    /** Distinct decoded images held. */
+    std::size_t entries() const;
+
+  private:
+    const std::uint64_t fingerprint_;
+    mutable std::mutex mutex_;
+    /** id -> decoded image (several ids may share one image). */
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const DecodedProgram>>
+        byId_;
+    /** content hash -> decoded images (hash-collision bucket). */
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::shared_ptr<const DecodedProgram>>>
+        byContent_;
+    Stats stats_;
+};
+
+} // namespace hr
+
+#endif // HR_SIM_DECODE_CACHE_HH

@@ -11,6 +11,12 @@
  * (MachineConfig::contexts): run() executes on context 0 while
  * registered background programs (setBackground) co-run on theirs,
  * and coRun() interleaves explicit co-runners — all deterministically.
+ *
+ * Programs are executed through a DecodedProgram image resolved by a
+ * per-configuration DecodeCache (shareable across a MachinePool), and
+ * the whole public harness surface can be recorded into a TrialTrace
+ * and replayed — the machinery behind BatchRunner's lockstep trial
+ * batching (see exp/batch.hh).
  */
 
 #ifndef HR_SIM_MACHINE_HH
@@ -26,6 +32,8 @@
 #include "core/branch_predictor.hh"
 #include "core/ooo_core.hh"
 #include "isa/program.hh"
+#include "sim/decode_cache.hh"
+#include "sim/trial_trace.hh"
 #include "util/memory_image.hh"
 #include "util/types.hh"
 
@@ -77,6 +85,13 @@ struct MachineConfig
     MachineConfig &withContexts(int n);
 };
 
+/**
+ * Deterministic fingerprint over every configuration field that can
+ * influence simulated behaviour. Keys DecodeCache sharing: a cache
+ * built for one configuration refuses machines of another.
+ */
+std::uint64_t machineConfigFingerprint(const MachineConfig &config);
+
 /** The simulated machine. */
 class Machine
 {
@@ -87,10 +102,10 @@ class Machine
      * Deep copy of everything that persists across run() calls: cache
      * hierarchy (tag arrays, replacement state, in-flight fills,
      * per-context attribution and jitter streams), branch predictor,
-     * memory image, core counters/cycle (whole-core and per-context),
-     * and the program-id counter. Move-only; restore any number of
-     * times. Registered background programs are machine configuration,
-     * not captured state: restore() neither adds nor removes them.
+     * memory image, and core counters/cycle (whole-core and
+     * per-context). Move-only; restore any number of times.
+     * Registered background programs are machine configuration, not
+     * captured state: restore() neither adds nor removes them.
      *
      * Aliasing caveats (see EXPERIMENTS.md):
      *  - restore() does not change serial(), so TimingSources
@@ -98,10 +113,11 @@ class Machine
      *    valid afterwards (the warm/calibrate-once use case), but a
      *    calibration done AFTER the snapshot also survives a restore
      *    even though the state it measured was rolled back.
-     *  - Programs keep their assigned ids across a restore while the
-     *    id counter rolls back, so a program first run after the
-     *    snapshot reuses the same id on every replay — which is what
-     *    makes replays bit-identical.
+     *  - Programs keep their assigned ids across a restore; ids are
+     *    allocated from a process-wide counter that never rolls back,
+     *    so a program first run after the snapshot keeps one stable
+     *    (always initially cold) id across every replay — which is
+     *    what makes replays bit-identical without id collisions.
      */
     class Snapshot
     {
@@ -116,10 +132,13 @@ class Machine
         OooCore::Snapshot core;
         BranchPredictor predictor;
         MemoryImage memory;
-        std::uint64_t nextProgramId = 1;
     };
 
-    /** Capture the current state (between run() calls). */
+    /**
+     * Capture the current state (between run() calls). Taking or
+     * restoring a snapshot while a TrialTrace is being recorded marks
+     * the trace opaque (state time-travel cannot be replayed).
+     */
     Snapshot snapshot();
 
     /**
@@ -151,11 +170,36 @@ class Machine
     BranchPredictor &predictor() { return predictor_; }
 
     /** Global cycle count. */
-    Cycle now() const { return core_->cycle(); }
+    Cycle now() const;
 
     /** Convert cycles to nanoseconds at the configured clock. */
     double toNs(Cycle cycles) const;
     double toUs(Cycle cycles) const { return toNs(cycles) / 1e3; }
+
+    // ---- decoded-trace cache -------------------------------------------
+    /** Fingerprint of this machine's configuration. */
+    std::uint64_t configFingerprint() const { return fingerprint_; }
+
+    /**
+     * Resolve the shared decoded image for a program, assigning it a
+     * process-unique id if it has none (or a fresh one if it was
+     * mutated in place under its old id — see DecodeCache). run()
+     * does this implicitly; exposed for cache-behaviour tests and the
+     * decode_cache_hit perf suite.
+     */
+    std::shared_ptr<const DecodedProgram> decodeProgram(Program &program);
+
+    /** The decode cache this machine resolves programs through. */
+    const std::shared_ptr<DecodeCache> &decodeCache() const
+    {
+        return decodeCache_;
+    }
+
+    /**
+     * Adopt a shared decode cache (MachinePool gives all its machines
+     * one). The cache must carry this machine's config fingerprint.
+     */
+    void shareDecodeCache(const std::shared_ptr<DecodeCache> &cache);
 
     /**
      * Run a program to completion on context 0. Assigns the program an
@@ -196,12 +240,10 @@ class Machine
      * Register a background program on a context (1..contexts-1). Every
      * subsequent run() co-runs a fresh restart of it, so the primary
      * workload always executes against the same co-resident activity.
-     * The program is copied and immediately assigned an id from a
-     * dedicated background namespace that never collides with
-     * foreground program ids — even across restore(), which rolls the
-     * foreground id counter back. Backgrounds are machine
-     * configuration, not microarchitectural state: restore() does not
-     * add or remove them.
+     * The program is copied and immediately assigned a process-unique
+     * id (the same collision-free allocator foreground programs use).
+     * Backgrounds are machine configuration, not microarchitectural
+     * state: restore() does not add or remove them.
      */
     void setBackground(ContextId ctx, Program program);
 
@@ -213,42 +255,142 @@ class Machine
 
     // ---- harness conveniences -----------------------------------------
     /** Write a word and (optionally) keep caches unaware (default). */
-    void poke(Addr addr, std::int64_t value) { memory_.write(addr, value); }
-    std::int64_t peek(Addr addr) const { return memory_.read(addr); }
+    void poke(Addr addr, std::int64_t value);
+    std::int64_t peek(Addr addr) const;
 
     /** clflush-like line invalidation across all levels. */
-    void flushLine(Addr addr) { hierarchy_.flushLine(addr); }
-    void flushAllCaches() { hierarchy_.flushAll(); }
+    void flushLine(Addr addr);
+    void flushAllCaches();
 
     /** Instantly install a line (setup helper; no timing). */
-    void warm(Addr addr, int upto_level = 1)
-    {
-        hierarchy_.warm(addr, upto_level);
-    }
+    void warm(Addr addr, int upto_level = 1);
 
     /** Highest cache level holding the line (0 = none). */
-    int probeLevel(Addr addr) const { return hierarchy_.probeLevel(addr); }
+    int probeLevel(Addr addr) const;
 
     /**
      * Let all in-flight memory requests land (models the idle gap
      * between attacker function invocations). Probing cache state right
      * after a run without settling may miss still-pending fills.
      */
-    void settle() { hierarchy_.drainAllFills(); }
+    void settle();
+
+    /**
+     * Per-context access counters (traced read; prefer this over raw
+     * hierarchy().contextStats() in trial code so the value replays
+     * correctly under BatchRunner — the raw accessor reads whatever
+     * state the machine happens to hold, which during a replay is NOT
+     * the trial's logical state).
+     */
+    ContextAccessStats contextStats(ContextId ctx) const;
+
+    /** Total misses at a cache level (1-3); traced read like above. */
+    std::uint64_t cacheMisses(int level) const;
+
+    /**
+     * Reseed the hierarchy's jitter/replacement randomness streams with
+     * this machine's configured seeds xor @p mix (the per-trial
+     * decorrelation scenarios use; see ScenarioContext::reseedMachine).
+     * Part of the traceable harness surface, unlike raw
+     * hierarchy().reseed().
+     */
+    void reseedNoise(std::uint64_t mix);
+
+    // ---- trial record/replay (see trial_trace.hh, exp/batch.hh) -------
+    /**
+     * Start recording every public harness operation (and its result)
+     * into @p trace, which the caller owns and must keep alive until
+     * endRecord(). The machine still executes everything for real.
+     */
+    void beginRecord(TrialTrace &trace);
+
+    /** Stop recording. */
+    void endRecord();
+
+    /**
+     * Start replaying against @p trace: as long as incoming operations
+     * match the recorded sequence, they are answered from the recorded
+     * results with no simulation and no state change. On the first
+     * mismatch the machine transparently re-materializes real state —
+     * restore(@p base), re-execute the matched prefix for real — and
+     * drops out of replay; the caller's trial continues scalar without
+     * noticing. @p base must be the state the trace was recorded from,
+     * and both must outlive the replay.
+     */
+    void beginReplay(const TrialTrace &trace, const Snapshot &base);
+
+    /**
+     * Finish a replay. Returns true if every operation was served from
+     * the trace (machine state was never touched); false if the trial
+     * diverged and finished scalar (state reflects the trial's real
+     * execution from @p base).
+     */
+    bool endReplay();
+
+    bool recording() const { return recording_ != nullptr; }
+    bool replaying() const { return replayTrace_ != nullptr; }
 
   private:
     MachineConfig config_;
     std::uint64_t serial_;
+    std::uint64_t fingerprint_;
     MemoryImage memory_;
     Hierarchy hierarchy_;
     BranchPredictor predictor_;
     std::unique_ptr<OooCore> core_;
-    std::uint64_t nextProgramId_ = 1;
-    /** Id namespace for background programs (see setBackground). */
-    static constexpr std::uint64_t kBackgroundIdBase = 1ull << 40;
-    std::uint64_t nextBackgroundId_ = 0;
+    std::shared_ptr<DecodeCache> decodeCache_;
+
     /** Registered background (noisy-neighbor) programs, by context. */
-    std::map<ContextId, Program> backgrounds_;
+    struct Background
+    {
+        Program program;
+        std::shared_ptr<const DecodedProgram> decoded;
+    };
+    std::map<ContextId, Background> backgrounds_;
+
+    // --- record/replay state (mutable: const reads are traced too) ---
+    TrialTrace *recording_ = nullptr;
+    const TrialTrace *replayTrace_ = nullptr;
+    const Snapshot *replayBase_ = nullptr;
+    mutable std::size_t replayPos_ = 0;
+    mutable bool replayDiverged_ = false;
+
+    // --- execution internals ---
+    RunResult realRun(ContextId ctx, const DecodedProgram &decoded,
+                      std::uint64_t program_id,
+                      const std::vector<std::pair<RegId, std::int64_t>>
+                          &initial_regs,
+                      Cycle max_cycles);
+    RunResult realCoRun(const TraceOp::RunSpec &spec);
+    RunResult replayRun(ContextId ctx, Program &program,
+                        std::vector<std::pair<ContextId, Program *>>
+                            *extras,
+                        const std::vector<std::pair<RegId, std::int64_t>>
+                            &initial_regs,
+                        Cycle max_cycles);
+    void applyReseed(std::uint64_t mix);
+    void markOpaque();
+
+    /**
+     * Whether two program ids are interchangeable for @p decoded given
+     * the replay base state: every branch pc holds the same predictor
+     * counter under both ids.
+     */
+    bool idsEquivalent(const DecodedProgram &decoded, std::uint64_t a,
+                       std::uint64_t b) const;
+
+    /**
+     * Leave replay mode at the current position: restore the base
+     * snapshot, re-execute the matched prefix for real, and continue
+     * scalar. Const because divergence can be triggered from const
+     * reads (peek/probeLevel/now); the machine is logically mutable
+     * here by design.
+     */
+    void divergeReplay() const;
+    void divergeReplayImpl();
+
+    /** Next trace op if it matches @p kind, else diverge and null. */
+    const TraceOp *replayExpect(TraceOp::Kind kind) const;
 };
 
 } // namespace hr

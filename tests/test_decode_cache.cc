@@ -1,0 +1,198 @@
+/**
+ * @file
+ * DecodeCache and Program::id lifecycle tests.
+ *
+ * The contract under test: programs decode once per distinct
+ * instruction stream per machine configuration, however many times
+ * they are rebuilt; ids are process-unique and never recycled (pool
+ * reuse or snapshot/restore must not make two different programs
+ * collide on one id); and in-place code mutation under a live id is
+ * detected instead of serving a stale decoded image.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/machine_pool.hh"
+#include "isa/program.hh"
+#include "sim/decode_cache.hh"
+#include "sim/machine.hh"
+#include "sim/profiles.hh"
+
+namespace hr
+{
+namespace
+{
+
+Program
+makeLoads(int count, const std::string &name = "dc_loads")
+{
+    ProgramBuilder builder(name);
+    RegId acc = builder.movImm(1);
+    for (int i = 0; i < count; ++i) {
+        RegId v =
+            builder.loadAbsolute(0x4000 + static_cast<Addr>(i) * 0x40);
+        acc = builder.binop(Opcode::Add, acc, v);
+    }
+    builder.halt();
+    return builder.take();
+}
+
+TEST(DecodeCache, SecondAcquireIsAnIdHit)
+{
+    Machine machine(machineConfigForProfile("default"));
+    Program program = makeLoads(8);
+    EXPECT_EQ(program.id, 0u); // builders always hand out unassigned
+
+    auto first = machine.decodeProgram(program);
+    ASSERT_NE(first, nullptr);
+    EXPECT_NE(program.id, 0u); // acquire assigned a live id
+    EXPECT_EQ(machine.decodeCache()->stats().misses, 1u);
+
+    auto second = machine.decodeProgram(program);
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(machine.decodeCache()->stats().hits, 1u);
+    EXPECT_EQ(machine.decodeCache()->entries(), 1u);
+}
+
+TEST(DecodeCache, RebuiltProgramAliasesToOneImage)
+{
+    // The common gadget pattern: the same program is rebuilt from
+    // scratch every trial. Content aliasing must resolve each rebuild
+    // to the one decoded image instead of re-decoding.
+    Machine machine(machineConfigForProfile("default"));
+    Program first_build = makeLoads(8);
+    auto image = machine.decodeProgram(first_build);
+
+    for (int i = 0; i < 4; ++i) {
+        Program rebuilt = makeLoads(8);
+        EXPECT_EQ(rebuilt.id, 0u);
+        auto resolved = machine.decodeProgram(rebuilt);
+        EXPECT_EQ(resolved.get(), image.get());
+        EXPECT_NE(rebuilt.id, 0u);
+    }
+    EXPECT_EQ(machine.decodeCache()->entries(), 1u);
+    EXPECT_EQ(machine.decodeCache()->stats().misses, 1u);
+    EXPECT_GE(machine.decodeCache()->stats().aliased, 4u);
+}
+
+TEST(DecodeCache, DifferentContentDecodesSeparately)
+{
+    Machine machine(machineConfigForProfile("default"));
+    Program a = makeLoads(8);
+    Program b = makeLoads(9);
+    auto da = machine.decodeProgram(a);
+    auto db = machine.decodeProgram(b);
+    EXPECT_NE(da.get(), db.get());
+    EXPECT_NE(a.id, b.id);
+    EXPECT_EQ(machine.decodeCache()->entries(), 2u);
+}
+
+TEST(DecodeCache, SizeChangingMutationInvalidates)
+{
+    Machine machine(machineConfigForProfile("default"));
+    Program program = makeLoads(8);
+    auto before = machine.decodeProgram(program);
+    const std::uint64_t old_id = program.id;
+
+    // Grow the program under its live id: acquire must detect the
+    // mismatch, re-decode, and move the program to a fresh id so the
+    // stale image can never be served for the new code.
+    Program grown = makeLoads(12);
+    program.code = grown.code;
+    program.numRegs = grown.numRegs;
+    auto after = machine.decodeProgram(program);
+    EXPECT_NE(after.get(), before.get());
+    EXPECT_NE(program.id, old_id);
+    EXPECT_EQ(machine.decodeCache()->stats().invalidations, 1u);
+    EXPECT_EQ(after->code.size(), grown.code.size());
+}
+
+TEST(DecodeCache, PoolSharesOneCacheAcrossLeases)
+{
+    MachinePool pool(machineConfigForProfile("default"));
+    std::uint64_t first_id = 0;
+    {
+        auto lease = pool.lease();
+        Program w = makeLoads(8);
+        lease.machine().run(w);
+        first_id = w.id;
+        EXPECT_NE(first_id, 0u);
+        EXPECT_EQ(lease.machine().decodeCache().get(),
+                  pool.decodeCache().get());
+    }
+    {
+        // A recycled lease sees the same shared cache: the rebuilt
+        // program aliases to the image decoded by the first lease
+        // under a fresh id (fresh ids keep predictor state cold, so
+        // re-identification never perturbs simulated timing).
+        auto lease = pool.lease();
+        Program w = makeLoads(8);
+        lease.machine().run(w);
+        EXPECT_NE(w.id, 0u);
+        EXPECT_NE(w.id, first_id);
+        EXPECT_EQ(pool.decodeCache()->entries(), 1u);
+        EXPECT_GE(pool.decodeCache()->stats().aliased, 1u);
+    }
+}
+
+TEST(DecodeCache, ShareRejectsForeignFingerprint)
+{
+    Machine a(machineConfigForProfile("default"));
+    Machine b(machineConfigForProfile("plru"));
+    EXPECT_NE(a.configFingerprint(), b.configFingerprint());
+    EXPECT_THROW(b.shareDecodeCache(a.decodeCache()),
+                 std::exception);
+}
+
+TEST(ProgramId, AllocationIsUniqueAcrossThreads)
+{
+    // Regression for the id-collision lifecycle bug: ids come from one
+    // process-global atomic counter, so concurrent trial builders can
+    // never mint the same id for different programs.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 1000;
+    std::vector<std::vector<std::uint64_t>> ids(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ids[static_cast<std::size_t>(t)].reserve(kPerThread);
+            for (int i = 0; i < kPerThread; ++i)
+                ids[static_cast<std::size_t>(t)].push_back(
+                    allocateProgramId());
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    std::set<std::uint64_t> unique;
+    for (const auto &batch : ids)
+        for (std::uint64_t id : batch) {
+            EXPECT_NE(id, 0u); // 0 is reserved for "unassigned"
+            unique.insert(id);
+        }
+    EXPECT_EQ(unique.size(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(ProgramId, RestoreNeverRollsBackIds)
+{
+    // Snapshot/restore rolls machine state back but must not roll the
+    // id allocator back: a program decoded after the restore point
+    // must not collide with one decoded before it.
+    Machine machine(machineConfigForProfile("default"));
+    Machine::Snapshot snap = machine.snapshot();
+    Program before = makeLoads(8, "dc_before");
+    machine.run(before);
+    machine.restore(snap);
+    Program after = makeLoads(10, "dc_after");
+    machine.run(after);
+    EXPECT_NE(after.id, before.id);
+    EXPECT_EQ(machine.decodeCache()->entries(), 2u);
+}
+
+} // namespace
+} // namespace hr

@@ -110,6 +110,37 @@ TEST(Perf, CompareNormalizesByHostSpeed)
     EXPECT_FALSE(comparePerf(current, baseline, 0.25).passed);
 }
 
+TEST(Perf, PerSuiteToleranceOverridesGlobal)
+{
+    // Batch suites carry a tighter tolerance than the CLI-wide 25%;
+    // the override must round-trip through the JSON baseline and win
+    // over the global value on both sides of the comparison.
+    std::vector<PerfSuite> current = sampleSuites();
+    current[1].tolerance = 0.10;
+    const std::vector<PerfBaselineEntry> baseline =
+        parsePerfBaseline(renderPerfJson(current, true));
+    ASSERT_EQ(baseline[1].tolerance, 0.10);
+    ASSERT_EQ(baseline[0].tolerance, 0.0); // unset stays global
+
+    // A 15% drop passes the global 25% but fails the suite's 10%.
+    current[1].value *= 0.85;
+    EXPECT_FALSE(comparePerf(current, baseline, 0.25).passed);
+
+    // The current run's tolerance wins even when the baseline entry
+    // predates the override (e.g. a freshly tightened suite).
+    std::vector<PerfSuite> loose = sampleSuites();
+    const std::vector<PerfBaselineEntry> old_baseline =
+        parsePerfBaseline(renderPerfJson(loose, true));
+    std::vector<PerfSuite> tightened = sampleSuites();
+    tightened[1].tolerance = 0.10;
+    tightened[1].value *= 0.85;
+    EXPECT_FALSE(comparePerf(tightened, old_baseline, 0.25).passed);
+
+    // And within the override, it passes.
+    tightened[1].value = sampleSuites()[1].value * 0.95;
+    EXPECT_TRUE(comparePerf(tightened, old_baseline, 0.25).passed);
+}
+
 TEST(Perf, CompareIgnoresSuitesMissingFromBaseline)
 {
     std::vector<PerfSuite> current = sampleSuites();
