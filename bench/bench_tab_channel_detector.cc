@@ -140,8 +140,7 @@ class TabChannelDetector : public Scenario
                     for (ContextId c = 0; c < 2; ++c) {
                         before_counters[c] =
                             machine.core().contextCounters(c);
-                        before_stats[c] =
-                            machine.hierarchy().contextStats(c);
+                        before_stats[c] = machine.contextStats(c);
                     }
                     channel.run(machine, payload);
 
@@ -152,8 +151,7 @@ class TabChannelDetector : public Scenario
                             machine.core().contextCounters(c) -
                             before_counters[c];
                         const std::uint64_t misses =
-                            (machine.hierarchy().contextStats(c) -
-                             before_stats[c])
+                            (machine.contextStats(c) - before_stats[c])
                                 .misses;
                         report.features[c] =
                             Detector::featuresOf(window, misses);

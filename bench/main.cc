@@ -16,6 +16,10 @@
  *                  [--param key=value]
  *   hr_bench perf [--quick] [--suite=NAME]... [--out=FILE]
  *                 [--baseline=FILE] [--tolerance=T] [--seed=S]
+ *   hr_bench analyze <gadget|channel|program>... | --all
+ *                    [--profile=NAME] [--jobs=N] [--no-validate]
+ *                    [--param key=value] [--format=table|json]
+ *   hr_bench analyze --list-programs
  *
  * Scenario names resolve by exact match or unique prefix (`run fig04`),
  * and gadget/channel names likewise (`sweep --gadget=arith`). Exit
@@ -31,6 +35,10 @@
 #include <string>
 #include <vector>
 
+#include <iostream>
+#include <sstream>
+
+#include "analysis/analyze.hh"
 #include "channel/channel_registry.hh"
 #include "exp/perf.hh"
 #include "exp/registry.hh"
@@ -64,6 +72,10 @@ usage()
         "  sweep --channel=NAME sweep a covert channel over a grid\n"
         "  perf                 self-profile the simulator, write "
         "BENCH_hr_perf.json\n"
+        "  analyze <target>...  static leakage analysis of gadgets, "
+        "channels, or demo programs\n"
+        "  analyze --all        analyze every gadget, channel, and "
+        "demo program\n"
         "\n"
         "run options:\n"
         "  --trials=N           override the scenario's sample count\n"
@@ -88,6 +100,19 @@ usage()
         "transmissions (channel) per grid point (default 4)\n"
         "  --param key=value    fixed gadget/channel parameter "
         "(repeatable)\n"
+        "\n"
+        "analyze options:\n"
+        "  --profile=NAME       machine profile (default: first "
+        "compatible of default/plru/smt2/smt2_plru)\n"
+        "  --jobs=N             analyze targets in parallel (output "
+        "is identical at any N)\n"
+        "  --no-validate        skip the dynamic cross-validation "
+        "runs\n"
+        "  --param key=value    gadget/channel parameter "
+        "(repeatable)\n"
+        "  --format=F           table (default) or json\n"
+        "  --list-programs      list the built-in annotated demo "
+        "programs\n"
         "\n"
         "perf options:\n"
         "  --quick              CI-sized measurement budgets\n"
@@ -115,6 +140,8 @@ struct Cli
     std::string out = "BENCH_hr_perf.json";
     std::string baseline;
     double tolerance = 0.25;
+    bool validate = true;
+    bool list_programs = false;
     std::vector<std::string> seen; ///< flag names given, for rejectStray
 
     static Cli
@@ -151,6 +178,12 @@ struct Cli
             } else if (arg == "--no-batch") {
                 cli.options.batch = false;
                 cli.seen.push_back("no-batch");
+            } else if (arg == "--no-validate") {
+                cli.validate = false;
+                cli.seen.push_back("no-validate");
+            } else if (arg == "--list-programs") {
+                cli.list_programs = true;
+                cli.seen.push_back("list-programs");
             } else if (arg == "--quick") {
                 cli.quick = true;
                 cli.seen.push_back("quick");
@@ -280,11 +313,15 @@ cmdProfiles(const Cli &cli)
 void
 rejectStray(const Cli &cli, const std::string &command)
 {
-    if (command != "run" && !cli.positional.empty())
+    if (command != "run" && command != "analyze" &&
+        !cli.positional.empty())
         fatal(command + ": unexpected operand '" +
               cli.positional.front() + "'");
     std::vector<std::string> allowed = {"format"};
-    if (command == "run") {
+    if (command == "analyze") {
+        allowed.insert(allowed.end(), {"all", "jobs", "profile", "param",
+                                       "no-validate", "list-programs"});
+    } else if (command == "run") {
         allowed.insert(allowed.end(), {"all", "trials", "jobs", "seed",
                                        "profile", "param", "no-batch"});
     } else if (command == "sweep") {
@@ -310,9 +347,11 @@ cmdGadgets(const Cli &cli)
     const auto gadgets = GadgetRegistry::instance().all();
     if (gadgets.empty())
         return emptyRegistry("gadgets");
-    Table table({"gadget", "kind", "parameters", "description"});
+    Table table({"gadget", "kind", "leakage", "parameters",
+                 "description"});
     for (const GadgetInfo *gadget : gadgets)
-        table.addRow({gadget->name, gadget->kind, gadget->params,
+        table.addRow({gadget->name, gadget->kind,
+                      leakageClassFor(gadget->name), gadget->params,
                       gadget->description});
     if (cli.options.format == Format::Table) {
         table.print();
@@ -333,12 +372,13 @@ cmdChannels(const Cli &cli)
     const auto channels = ChannelRegistry::instance().all();
     if (channels.empty())
         return emptyRegistry("channels");
-    Table table(
-        {"channel", "gadget", "mod", "parameters", "description"});
+    Table table({"channel", "gadget", "mod", "leakage", "parameters",
+                 "description"});
     for (const ChannelInfo *channel : channels)
         table.addRow({channel->name, channel->gadget,
-                      channel->modulation, channel->params,
-                      channel->description});
+                      channel->modulation,
+                      leakageClassFor(channel->gadget),
+                      channel->params, channel->description});
     if (cli.options.format == Format::Table) {
         table.print();
         std::printf("\n%zu channels registered\n", channels.size());
@@ -444,6 +484,52 @@ cmdPerf(const Cli &cli)
 }
 
 int
+cmdAnalyze(const Cli &cli)
+{
+    if (cli.list_programs) {
+        Table table({"program", "description"});
+        for (const ProgramTarget &target : programTargets())
+            table.addRow({target.name, target.description});
+        if (cli.options.format == Format::Table)
+            table.print();
+        else
+            std::fputs((cli.options.format == Format::Json
+                            ? table.renderJson()
+                            : table.renderCsv())
+                           .c_str(),
+                       stdout);
+        return 0;
+    }
+
+    AnalyzeOptions options;
+    options.targets = cli.positional;
+    options.all = cli.run_all;
+    options.profile = cli.options.profile;
+    options.jobs = cli.options.jobs;
+    options.validate = cli.validate;
+    options.params = cli.options.params;
+
+    const std::vector<LeakageReport> reports = runAnalysis(options);
+    std::ostringstream out;
+    if (cli.options.format == Format::Json)
+        printReportJson(out, reports);
+    else if (cli.options.format == Format::Table)
+        printReportTable(out, reports);
+    else
+        fatal("analyze: --format must be table or json");
+    std::fputs(out.str().c_str(), stdout);
+
+    // incompatible/calib_fail are verdicts, not failures; only real
+    // analysis errors and cross-validation mismatches fail the run.
+    bool ok = true;
+    for (const LeakageReport &report : reports) {
+        ok &= report.status.rfind("error:", 0) != 0;
+        ok &= !report.validation.ran || report.validation.passed;
+    }
+    return ok ? 0 : 1;
+}
+
+int
 cmdRun(Cli cli)
 {
     std::vector<Scenario *> selected;
@@ -506,6 +592,8 @@ main(int argc, char **argv)
             return cmdSweep(cli);
         if (command == "perf")
             return cmdPerf(cli);
+        if (command == "analyze")
+            return cmdAnalyze(cli);
         if (command == "run")
             return cmdRun(cli);
         if (command == "help" || command == "--help" || command == "-h") {

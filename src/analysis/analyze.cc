@@ -1,0 +1,276 @@
+#include "analysis/analyze.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "channel/channel_registry.hh"
+#include "gadgets/gadget_registry.hh"
+#include "sim/profiles.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+
+namespace hr
+{
+namespace
+{
+
+enum class TargetKind
+{
+    Gadget,
+    Channel,
+    Program,
+};
+
+struct Task
+{
+    TargetKind kind;
+    std::string name;
+};
+
+/** Every analyzable name, for suggestions and prefix resolution. */
+std::vector<std::pair<TargetKind, std::string>>
+allTargets()
+{
+    std::vector<std::pair<TargetKind, std::string>> out;
+    for (const GadgetInfo *info : GadgetRegistry::instance().all())
+        out.emplace_back(TargetKind::Gadget, info->name);
+    for (const ChannelInfo *info : ChannelRegistry::instance().all())
+        out.emplace_back(TargetKind::Channel, info->name);
+    for (const ProgramTarget &target : programTargets())
+        out.emplace_back(TargetKind::Program, target.name);
+    return out;
+}
+
+/**
+ * Resolve one CLI name against gadgets, channels, and demo programs:
+ * exact match first, then unique prefix, with an edit-distance
+ * suggestion on failure — the same contract as the registries' own
+ * resolve(), but spanning all three namespaces at once.
+ */
+Task
+resolveTarget(const std::string &name)
+{
+    const auto universe = allTargets();
+    std::vector<const std::pair<TargetKind, std::string> *> prefix;
+    for (const auto &entry : universe) {
+        if (entry.second == name)
+            return {entry.first, entry.second};
+        if (entry.second.rfind(name, 0) == 0)
+            prefix.push_back(&entry);
+    }
+    if (prefix.size() == 1)
+        return {prefix.front()->first, prefix.front()->second};
+    if (prefix.size() > 1) {
+        std::string choices;
+        for (const auto *entry : prefix)
+            choices += (choices.empty() ? "" : ", ") + entry->second;
+        fatal("analyze: '" + name + "' is ambiguous (" + choices + ")");
+    }
+    std::vector<std::string> names;
+    for (const auto &entry : universe)
+        names.push_back(entry.second);
+    const std::string suggestion = closestMatch(name, names);
+    fatal("analyze: unknown target '" + name + "'" +
+          (suggestion.empty()
+               ? ""
+               : " (did you mean '" + suggestion + "'?)") +
+          "; see `hr_bench gadgets`, `channels`, or the demo programs "
+          "in `analyze --list-programs`");
+}
+
+LeakageReport
+runTask(const Task &task, const AnalyzeOptions &options)
+{
+    // Pin the profile before building the validation pool so the pool
+    // machines match the machines the static pass models.
+    std::string profile = options.profile;
+    try {
+        if (profile.empty()) {
+            if (task.kind == TargetKind::Gadget)
+                profile = defaultAnalysisProfile(task.name);
+            else if (task.kind == TargetKind::Channel)
+                profile = defaultAnalysisProfile(
+                    ChannelRegistry::instance().resolve(task.name).gadget);
+            else
+                profile = "default";
+        }
+
+        std::unique_ptr<MachinePool> pool;
+        if (options.validate)
+            pool = std::make_unique<MachinePool>(
+                machineConfigForProfile(profile));
+
+        switch (task.kind) {
+          case TargetKind::Gadget:
+            return analyzeGadget(task.name, profile, options.params,
+                                 pool.get());
+          case TargetKind::Channel:
+            return analyzeChannel(task.name, profile, options.params,
+                                  pool.get());
+          case TargetKind::Program:
+            return analyzeProgramTarget(*findProgramTarget(task.name),
+                                        profile, pool.get());
+        }
+    } catch (const std::exception &e) {
+        LeakageReport report;
+        report.target = task.name;
+        report.profile = profile;
+        report.status = std::string("error: ") + e.what();
+        return report;
+    }
+    return {};
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names)
+        out += (out.empty() ? "" : ",") + name;
+    return out;
+}
+
+std::string
+validationCell(const ValidationResult &v)
+{
+    if (!v.ran)
+        return "-";
+    return v.passed ? "pass" : "FAIL";
+}
+
+} // namespace
+
+std::vector<LeakageReport>
+runAnalysis(const AnalyzeOptions &options)
+{
+    std::vector<Task> tasks;
+    if (options.all) {
+        for (const auto &[kind, name] : allTargets())
+            tasks.push_back({kind, name});
+    } else {
+        fatalIf(options.targets.empty(),
+                "analyze: name at least one gadget/channel/program "
+                "(or --all)");
+        for (const std::string &name : options.targets)
+            tasks.push_back(resolveTarget(name));
+    }
+
+    // Per-index result slots + a shared work queue: output order is
+    // the task order regardless of --jobs, and every task builds its
+    // own machines/pool, so workers share nothing mutable.
+    std::vector<LeakageReport> reports(tasks.size());
+    const int count = static_cast<int>(tasks.size());
+    const int workers = std::max(1, std::min(options.jobs, count));
+    std::atomic<int> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            reports[static_cast<std::size_t>(i)] =
+                runTask(tasks[static_cast<std::size_t>(i)], options);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers - 1));
+    for (int t = 1; t < workers; ++t)
+        threads.emplace_back(work);
+    work();
+    for (std::thread &thread : threads)
+        thread.join();
+    return reports;
+}
+
+void
+printReportTable(std::ostream &os,
+                 const std::vector<LeakageReport> &reports)
+{
+    Table table({"target", "kind", "profile", "status", "leakage",
+                 "validated", "predicted observers"});
+    for (const LeakageReport &report : reports)
+        table.addRow({report.target, report.kind, report.profile,
+                      report.status,
+                      report.status == "ok" ? report.leakClass : "-",
+                      validationCell(report.validation),
+                      joinNames(report.observers)});
+    os << table.render();
+
+    // Findings and validation failures do not fit table cells; print
+    // them as trailing annotations like the scenario check lines.
+    for (const LeakageReport &report : reports) {
+        for (const TaintFinding &finding : report.taintFindings)
+            os << "  " << report.target << ": pc " << finding.pc << " "
+               << leakKindName(finding.kind) << ": " << finding.detail
+               << "\n";
+        for (const std::string &failure : report.validation.failures)
+            os << "  " << report.target
+               << ": validation FAIL: " << failure << "\n";
+    }
+}
+
+void
+printReportJson(std::ostream &os,
+                const std::vector<LeakageReport> &reports)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const LeakageReport &r = reports[i];
+        os << "  {\n";
+        os << "    \"target\": " << jsonQuote(r.target) << ",\n";
+        os << "    \"kind\": " << jsonQuote(r.kind) << ",\n";
+        if (!r.gadget.empty())
+            os << "    \"gadget\": " << jsonQuote(r.gadget) << ",\n";
+        os << "    \"profile\": " << jsonQuote(r.profile) << ",\n";
+        os << "    \"status\": " << jsonQuote(r.status) << ",\n";
+        os << "    \"leak_class\": " << jsonQuote(r.leakClass) << ",\n";
+        os << "    \"constant_time\": "
+           << (r.constantTime ? "true" : "false") << ",\n";
+        os << "    \"opaque\": " << (r.opaque ? "true" : "false")
+           << ",\n";
+        os << "    \"est_cycle_delta\": " << jsonNum(r.diff.estCycleDelta)
+           << ",\n";
+        os << "    \"observers\": [";
+        for (std::size_t j = 0; j < r.observers.size(); ++j)
+            os << (j ? ", " : "") << jsonQuote(r.observers[j]);
+        os << "],\n";
+        os << "    \"taint_findings\": [";
+        for (std::size_t j = 0; j < r.taintFindings.size(); ++j) {
+            const TaintFinding &finding = r.taintFindings[j];
+            os << (j ? ", " : "") << "{\"pc\": " << finding.pc
+               << ", \"kind\": "
+               << jsonQuote(leakKindName(finding.kind))
+               << ", \"detail\": " << jsonQuote(finding.detail) << "}";
+        }
+        os << "],\n";
+        os << "    \"footprint\": [";
+        for (int p = 0; p < 2; ++p) {
+            const CacheFootprint &fp = r.footprint[p];
+            os << (p ? ", " : "") << "{\"lines\": " << fp.lines.size()
+               << ", \"transient_lines\": " << fp.transientLines.size()
+               << ", \"mem_ops\": " << fp.memOps
+               << ", \"predicted_fills\": " << fp.predictedFills
+               << ", \"fills_exact\": "
+               << (fp.fillsExact ? "true" : "false")
+               << ", \"accesses_exact\": "
+               << (fp.accessesExact ? "true" : "false") << "}";
+        }
+        os << "],\n";
+        os << "    \"validation\": {\"ran\": "
+           << (r.validation.ran ? "true" : "false") << ", \"passed\": "
+           << (r.validation.passed ? "true" : "false")
+           << ", \"failures\": [";
+        for (std::size_t j = 0; j < r.validation.failures.size(); ++j)
+            os << (j ? ", " : "")
+               << jsonQuote(r.validation.failures[j]);
+        os << "]},\n";
+        os << "    \"detail\": " << jsonQuote(r.detail) << "\n";
+        os << "  }" << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+} // namespace hr

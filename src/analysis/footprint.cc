@@ -1,0 +1,244 @@
+#include "analysis/footprint.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hr
+{
+namespace
+{
+
+/** Issue-latency weight per FU class for the cycle-delta estimate. */
+double
+fuWeight(const MachineConfig &config, int fu)
+{
+    switch (static_cast<FuClass>(fu)) {
+      case FuClass::IntAlu: return 1.0;
+      case FuClass::IntMul: return 3.0;
+      case FuClass::FpDiv: return 20.0;
+      case FuClass::MemRead:
+      case FuClass::MemWrite:
+        return static_cast<double>(config.memory.l1Latency);
+      case FuClass::BranchU: return 1.0;
+    }
+    return 1.0;
+}
+
+} // namespace
+
+FootprintBuilder::FootprintBuilder(const MachineConfig &config)
+    : config_(config)
+{
+}
+
+Addr
+FootprintBuilder::lineOf(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(config_.memory.l1.lineBytes - 1);
+}
+
+void
+FootprintBuilder::addProgram(const InterpResult &run, bool primary)
+{
+    // A clock-reading program can branch on Rdtsc, which the
+    // interpreter models as 0 — its trip counts are not trustworthy
+    // even as a lower bound.
+    if (primary && !run.capped && !run.usedClock)
+        fp_.completedMemOps += run.memOps();
+    fp_.hasCoRunners |= !primary;
+    for (Addr ea : run.touchOrder) {
+        const Addr line = lineOf(ea);
+        fp_.events.push_back({TouchEvent::Kind::Demand, line});
+        fp_.lines.insert(line);
+        fp_.demandLines.insert(line);
+    }
+    for (Addr ea : run.transientEas)
+        fp_.transientLines.insert(lineOf(ea));
+    for (int fu = 0; fu < kNumFuClasses; ++fu)
+        fp_.fuCount[fu] += run.fuCount[fu];
+    fp_.memOps += run.memOps();
+    fp_.capped |= run.capped;
+    fp_.usedClock |= run.usedClock;
+    fp_.anyBranches |=
+        run.fuCount[static_cast<int>(FuClass::BranchU)] != 0;
+}
+
+void
+FootprintBuilder::addWarm(Addr addr)
+{
+    const Addr line = lineOf(addr);
+    fp_.events.push_back({TouchEvent::Kind::Warm, line});
+    fp_.lines.insert(line);
+}
+
+void
+FootprintBuilder::addFlushLine(Addr addr)
+{
+    fp_.events.push_back({TouchEvent::Kind::FlushLine, lineOf(addr)});
+}
+
+void
+FootprintBuilder::addFlushAll()
+{
+    fp_.events.push_back({TouchEvent::Kind::FlushAll, 0});
+}
+
+void
+FootprintBuilder::addUnresolved(int count)
+{
+    fp_.unresolvedMemOps += count;
+}
+
+CacheFootprint
+FootprintBuilder::finish()
+{
+    const CacheConfig &l1 = config_.memory.l1;
+    const int shift = __builtin_ctz(l1.lineBytes);
+    const auto set_of = [&](Addr line) {
+        return static_cast<int>((line >> shift) &
+                                static_cast<Addr>(l1.numSets - 1));
+    };
+
+    // Per-set pressure over everything that can reach the L1,
+    // including speculative touches (they install lines too).
+    bool any_excess = false;
+    for (const std::set<Addr> *group :
+         {&fp_.lines, &fp_.transientLines}) {
+        for (Addr line : *group)
+            fp_.sets[set_of(line)].lines.insert(line);
+    }
+    for (auto &[set, pressure] : fp_.sets) {
+        (void)set;
+        pressure.exceedsAssoc =
+            static_cast<int>(pressure.lines.size()) > l1.assoc;
+        pressure.plruReach =
+            l1.policy == PolicyKind::TreePlru &&
+            static_cast<int>(pressure.lines.size()) >= l1.assoc;
+        any_excess |= pressure.exceedsAssoc;
+    }
+
+    // Presence simulation: an exact L1 demand-fill prediction as long
+    // as nothing can evict (no set over associativity) and the touch
+    // stream is complete (no cap, no wrong-path accesses, no
+    // unresolved addresses). Merged in-flight misses share one fill,
+    // so "first touch while absent" counts episodes exactly.
+    std::set<Addr> present;
+    for (const TouchEvent &ev : fp_.events) {
+        switch (ev.kind) {
+          case TouchEvent::Kind::Demand:
+            if (present.insert(ev.line).second)
+                ++fp_.predictedFills;
+            break;
+          case TouchEvent::Kind::Warm:
+            present.insert(ev.line);
+            break;
+          case TouchEvent::Kind::FlushLine:
+            present.erase(ev.line);
+            break;
+          case TouchEvent::Kind::FlushAll:
+            present.clear();
+            break;
+        }
+    }
+    const bool complete = !fp_.capped && !fp_.anyBranches &&
+                          !fp_.usedClock && !fp_.hasCoRunners &&
+                          fp_.unresolvedMemOps == 0;
+    fp_.accessesExact = complete;
+    fp_.fillsExact =
+        complete && !any_excess && fp_.transientLines.empty();
+    return std::move(fp_);
+}
+
+FootprintDiff
+diffFootprints(const CacheFootprint &a, const CacheFootprint &b,
+               const MachineConfig &config)
+{
+    FootprintDiff diff;
+    std::set_difference(a.lines.begin(), a.lines.end(), b.lines.begin(),
+                        b.lines.end(),
+                        std::back_inserter(diff.linesOnlyA));
+    std::set_difference(b.lines.begin(), b.lines.end(), a.lines.begin(),
+                        a.lines.end(),
+                        std::back_inserter(diff.linesOnlyB));
+    std::set_difference(a.transientLines.begin(), a.transientLines.end(),
+                        b.transientLines.begin(), b.transientLines.end(),
+                        std::back_inserter(diff.transientOnlyA));
+    std::set_difference(b.transientLines.begin(), b.transientLines.end(),
+                        a.transientLines.begin(), a.transientLines.end(),
+                        std::back_inserter(diff.transientOnlyB));
+    for (int fu = 0; fu < kNumFuClasses; ++fu)
+        diff.fuDelta[fu] =
+            static_cast<std::int64_t>(a.fuCount[fu]) -
+            static_cast<std::int64_t>(b.fuCount[fu]);
+    diff.orderDiffers = !diff.cacheDelta() && a.events != b.events;
+    for (const auto &[set, pa] : a.sets) {
+        auto it = b.sets.find(set);
+        diff.pressureDiffers |=
+            it == b.sets.end() ||
+            pa.exceedsAssoc != it->second.exceedsAssoc;
+    }
+    for (const auto &[set, pb] : b.sets) {
+        (void)pb;
+        diff.pressureDiffers |= a.sets.find(set) == a.sets.end();
+    }
+    diff.approximate = a.capped || b.capped ||
+                       a.unresolvedMemOps + b.unresolvedMemOps > 0;
+
+    double est = 0;
+    for (int fu = 0; fu < kNumFuClasses; ++fu)
+        est += std::abs(static_cast<double>(diff.fuDelta[fu])) *
+               fuWeight(config, fu);
+    est += static_cast<double>(diff.linesOnlyA.size() +
+                               diff.linesOnlyB.size()) *
+           static_cast<double>(config.memory.memLatency);
+    diff.estCycleDelta = est;
+    return diff;
+}
+
+std::string
+classifyLeak(const FootprintDiff &diff)
+{
+    std::string base;
+    if (diff.cacheDelta())
+        base = "cache_footprint";
+    else if (diff.transientDelta())
+        base = "transient_cache";
+    else if (diff.orderDiffers)
+        base = "cache_order";
+    if (diff.fuDeltaAny())
+        return base.empty() ? "fu_timing" : base + "+fu";
+    return base.empty() ? "constant_time" : base;
+}
+
+std::vector<std::string>
+predictObservers(const FootprintDiff &diff, const MachineConfig &config)
+{
+    const bool plru = config.memory.l1.policy == PolicyKind::TreePlru;
+    const bool multi = config.contexts >= 2;
+    const bool presence = diff.cacheDelta() || diff.transientDelta();
+    std::set<std::string> out;
+    if (presence) {
+        out.insert("repetition");
+        out.insert("arbitrary_magnifier");
+        out.insert("arith_magnifier");
+        if (plru) {
+            out.insert("plru_pa_magnifier");
+            out.insert("plru_pin_magnifier");
+            out.insert("hacky_timer");
+        }
+        if (multi)
+            out.insert("l1_contention");
+    }
+    if (diff.orderDiffers && plru)
+        out.insert("plru_reorder_magnifier");
+    if (diff.estCycleDelta > 0) {
+        if (multi)
+            out.insert("smt_contention");
+        // 5 us coarse-clock resolution in cycles at the profile clock.
+        if (diff.estCycleDelta >= 5.0 * config.ghz * 1000.0)
+            out.insert("coarse_timer");
+    }
+    return {out.begin(), out.end()};
+}
+
+} // namespace hr

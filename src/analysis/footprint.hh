@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Static cache-footprint model: which lines, sets, and
+ * replacement-state a program can reach under a MachineConfig, and
+ * which registered TimingSources could observe it.
+ *
+ * Built from the reference interpreter's architectural touch
+ * sequences (interp.hh) plus the harness operations around them
+ * (warm/flushLine/flushAllCaches), mapped through the profile's L1
+ * geometry. The model predicts, per L1 set, the distinct lines
+ * touchable (set pressure vs. associativity decides eviction
+ * capability) and PLRU-state reachability (>= assoc distinct lines on
+ * a tree-PLRU L1 means the program can steer the whole replacement
+ * tree — the paper's magnifier precondition). A presence simulation
+ * over the ordered touch/warm/flush event stream yields an exact
+ * predicted L1 fill count whenever the program is statically fully
+ * resolved, which is the hook the dynamic cross-validation harness
+ * (leakage.hh) regression-tests against Machine::contextStats.
+ *
+ * The differential half compares two footprints (a gadget's two
+ * secret polarities): line-set deltas, touch-order deltas (the
+ * replacement-state channel), per-FU-class op-count deltas, and an
+ * estimated cycle delta — then maps the difference onto the observer
+ * surface of every registered gadget family.
+ */
+
+#ifndef HR_ANALYSIS_FOOTPRINT_HH
+#define HR_ANALYSIS_FOOTPRINT_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/interp.hh"
+#include "sim/machine.hh"
+
+namespace hr
+{
+
+/** One line-granular event in the footprint's ordered state stream. */
+struct TouchEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Demand,    ///< committed Load/Store/Prefetch
+        Warm,      ///< harness warm()
+        FlushLine, ///< harness flushLine()
+        FlushAll,  ///< harness flushAllCaches()
+    };
+    Kind kind = Kind::Demand;
+    Addr line = 0;
+
+    bool operator==(const TouchEvent &o) const
+    {
+        return kind == o.kind && line == o.line;
+    }
+};
+
+/** Distinct lines mapping to one L1 set. */
+struct SetPressure
+{
+    std::set<Addr> lines;
+    bool exceedsAssoc = false; ///< can force evictions in this set
+    /** >= assoc lines on a tree-PLRU L1: full replacement-state reach. */
+    bool plruReach = false;
+};
+
+/** The static cache/FU surface of one execution (one polarity). */
+struct CacheFootprint
+{
+    std::set<Addr> lines;          ///< demand + warm line addresses
+    std::set<Addr> demandLines;    ///< committed demand touches only
+    std::set<Addr> transientLines; ///< wrong-path (speculative) reach
+    std::map<int, SetPressure> sets; ///< L1 set index -> pressure
+    std::vector<TouchEvent> events;  ///< ordered state-relevant stream
+    std::array<std::uint64_t, kNumFuClasses> fuCount{};
+    std::uint64_t memOps = 0; ///< committed demand touches
+    /**
+     * Demand touches from programs guaranteed to complete on the real
+     * machine (non-capped primary runs): a hard lower bound on the
+     * observable access count even when co-runners are abandoned
+     * mid-flight.
+     */
+    std::uint64_t completedMemOps = 0;
+
+    bool capped = false;     ///< some program hit the interpreter cap
+    bool usedClock = false;  ///< some program read the clock
+    bool anyBranches = false;
+    bool hasCoRunners = false; ///< co-runners are abandoned, not run out
+    int unresolvedMemOps = 0; ///< from the taint pass, when used
+
+    /** Presence-simulation prediction of L1 demand fills. */
+    std::uint64_t predictedFills = 0;
+    /** predictedFills is provably exact (see fillsExact() docs). */
+    bool fillsExact = false;
+    /** memOps is provably the exact demand-access count. */
+    bool accessesExact = false;
+};
+
+/** Accumulates interpreter runs + harness ops into a CacheFootprint. */
+class FootprintBuilder
+{
+  public:
+    explicit FootprintBuilder(const MachineConfig &config);
+
+    /** @p primary: a foreground run that completes for real (vs. an
+     * abandoned co-runner whose touch stream is approximate). */
+    void addProgram(const InterpResult &run, bool primary = true);
+    void addWarm(Addr addr);
+    void addFlushLine(Addr addr);
+    void addFlushAll();
+    void addUnresolved(int count);
+
+    CacheFootprint finish();
+
+  private:
+    Addr lineOf(Addr addr) const;
+
+    const MachineConfig &config_;
+    CacheFootprint fp_;
+};
+
+/** Secret-dependent difference between two polarity footprints. */
+struct FootprintDiff
+{
+    std::vector<Addr> linesOnlyA, linesOnlyB; ///< demand+warm deltas
+    std::vector<Addr> transientOnlyA, transientOnlyB;
+    std::array<std::int64_t, kNumFuClasses> fuDelta{}; ///< A - B
+    bool orderDiffers = false; ///< same lines, different event order
+    bool pressureDiffers = false; ///< some set's eviction reach differs
+    double estCycleDelta = 0;  ///< rough latency-weighted magnitude
+    bool approximate = false;  ///< a side was capped or unresolved
+
+    bool cacheDelta() const
+    {
+        return !linesOnlyA.empty() || !linesOnlyB.empty();
+    }
+    bool transientDelta() const
+    {
+        return !transientOnlyA.empty() || !transientOnlyB.empty();
+    }
+    bool fuDeltaAny() const
+    {
+        for (std::int64_t d : fuDelta)
+            if (d != 0)
+                return true;
+        return false;
+    }
+};
+
+FootprintDiff diffFootprints(const CacheFootprint &a,
+                             const CacheFootprint &b,
+                             const MachineConfig &config);
+
+/**
+ * Leakage class of a polarity diff: "constant_time", "fu_timing",
+ * "cache_footprint", "transient_cache", or "cache_order", with "+fu"
+ * appended when an FU-count delta rides along.
+ */
+std::string classifyLeak(const FootprintDiff &diff);
+
+/**
+ * Registered gadget names whose observation surface intersects the
+ * diff under @p config: line-presence readers for footprint deltas,
+ * the reorder magnifier for order deltas, contention sources for any
+ * cycle-scale delta (contexts permitting), and the coarse timer only
+ * when the estimated delta clears its 5 us resolution — the paper's
+ * point that raw gadget deltas are sub-resolution without
+ * magnification.
+ */
+std::vector<std::string> predictObservers(const FootprintDiff &diff,
+                                          const MachineConfig &config);
+
+} // namespace hr
+
+#endif // HR_ANALYSIS_FOOTPRINT_HH

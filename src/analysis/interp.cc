@@ -1,0 +1,240 @@
+#include "analysis/interp.hh"
+
+#include <limits>
+
+#include "util/memory_image.hh"
+
+namespace hr
+{
+namespace
+{
+
+std::int64_t
+aluOf(Opcode op, std::int64_t v0, std::int64_t rhs)
+{
+    const auto u0 = static_cast<std::uint64_t>(v0);
+    const auto u1 = static_cast<std::uint64_t>(rhs);
+    switch (op) {
+      case Opcode::MovImm: return rhs;
+      case Opcode::Add: return static_cast<std::int64_t>(u0 + u1);
+      case Opcode::Sub: return static_cast<std::int64_t>(u0 - u1);
+      case Opcode::Mul: return static_cast<std::int64_t>(u0 * u1);
+      case Opcode::Div:
+        if (rhs == 0)
+            return 0;
+        if (v0 == std::numeric_limits<std::int64_t>::min() && rhs == -1)
+            return v0;
+        return v0 / rhs;
+      case Opcode::And: return v0 & rhs;
+      case Opcode::Or: return v0 | rhs;
+      case Opcode::Xor: return v0 ^ rhs;
+      case Opcode::Shl:
+        return static_cast<std::int64_t>(u0 << (u1 & 63));
+      case Opcode::Shr:
+        return static_cast<std::int64_t>(u0 >> (u1 & 63));
+      default: return 0;
+    }
+}
+
+Addr
+eaOf(const Instruction &inst, const std::vector<std::int64_t> &regs)
+{
+    std::uint64_t ea = static_cast<std::uint64_t>(inst.imm);
+    if (inst.src0 != kNoReg)
+        ea += static_cast<std::uint64_t>(regs[inst.src0]) *
+              static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(inst.scale0));
+    if (inst.src1 != kNoReg)
+        ea += static_cast<std::uint64_t>(regs[inst.src1]) *
+              static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(inst.scale1));
+    return static_cast<Addr>(ea);
+}
+
+std::int64_t
+readWord(const std::map<Addr, std::int64_t> &overlay,
+         const std::map<Addr, std::int64_t> &init, Addr addr)
+{
+    const Addr word = MemoryImage::wordAddr(addr);
+    auto it = overlay.find(word);
+    if (it != overlay.end())
+        return it->second;
+    auto in = init.find(word);
+    return in != init.end() ? in->second : 0;
+}
+
+/**
+ * Walk the squashed side of a branch for up to @p window ops against
+ * scratch copies of the registers, recording every memory EA the
+ * wrong path would issue before the squash. Nested branches stop the
+ * walk (second-level speculation is out of model).
+ */
+void
+transientWalk(const DecodedProgram &program, std::int32_t start,
+              std::vector<std::int64_t> regs,
+              const std::map<Addr, std::int64_t> &overlay,
+              const std::map<Addr, std::int64_t> &init, int window,
+              std::set<Addr> &out)
+{
+    std::map<Addr, std::int64_t> scratch; // wrong-path store forwarding
+    std::int32_t pc = start;
+    const auto size = static_cast<std::int32_t>(program.size());
+    for (int step = 0; step < window && pc >= 0 && pc < size; ++step) {
+        const Instruction &inst =
+            program.code[static_cast<std::size_t>(pc)];
+        const DecodedOp &dop = program.ops[static_cast<std::size_t>(pc)];
+        if (dop.next == NextPcKind::Branch || dop.next == NextPcKind::Halt)
+            break;
+        switch (inst.op) {
+          case Opcode::Load: {
+            const Addr ea = eaOf(inst, regs);
+            out.insert(ea);
+            const Addr word = MemoryImage::wordAddr(ea);
+            auto it = scratch.find(word);
+            regs[inst.dst] = it != scratch.end()
+                                 ? it->second
+                                 : readWord(overlay, init, ea);
+            break;
+          }
+          case Opcode::Prefetch:
+            out.insert(eaOf(inst, regs));
+            break;
+          case Opcode::Store: {
+            const Addr ea = eaOf(inst, regs);
+            out.insert(ea);
+            scratch[MemoryImage::wordAddr(ea)] = regs[inst.dst];
+            break;
+          }
+          case Opcode::Rdtsc:
+            regs[inst.dst] = 0;
+            break;
+          case Opcode::Lea:
+            regs[inst.dst] =
+                static_cast<std::int64_t>(eaOf(inst, regs));
+            break;
+          case Opcode::Nop:
+          case Opcode::Jump:
+          case Opcode::Halt:
+          case Opcode::Branch:
+            break;
+          default: {
+            const std::int64_t v0 =
+                inst.src0 != kNoReg ? regs[inst.src0] : 0;
+            const std::int64_t rhs = inst.src1 != kNoReg
+                                         ? regs[inst.src1]
+                                         : inst.imm;
+            regs[inst.dst] = aluOf(inst.op, v0, rhs);
+            break;
+          }
+        }
+        pc = dop.nextPc;
+    }
+}
+
+} // namespace
+
+const char *
+fuShortName(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::IntAlu: return "alu";
+      case FuClass::IntMul: return "mul";
+      case FuClass::FpDiv: return "div";
+      case FuClass::MemRead: return "ld";
+      case FuClass::MemWrite: return "st";
+      case FuClass::BranchU: return "br";
+    }
+    return "?";
+}
+
+InterpResult
+interpretProgram(const DecodedProgram &program,
+                 const std::vector<std::pair<RegId, std::int64_t>>
+                     &initial_regs,
+                 const std::map<Addr, std::int64_t> &initial_memory,
+                 const InterpOptions &options)
+{
+    InterpResult result;
+    std::map<Addr, std::int64_t> init;
+    for (const auto &[addr, value] : initial_memory)
+        init[MemoryImage::wordAddr(addr)] = value;
+
+    std::vector<std::int64_t> regs(program.numRegs, 0);
+    for (const auto &[reg, value] : initial_regs)
+        if (reg < program.numRegs)
+            regs[reg] = value;
+
+    const auto size = static_cast<std::int32_t>(program.size());
+    std::int32_t pc = 0;
+    while (pc >= 0 && pc < size) {
+        if (result.steps >= options.stepCap) {
+            result.capped = true;
+            break;
+        }
+        ++result.steps;
+        const Instruction &inst =
+            program.code[static_cast<std::size_t>(pc)];
+        const DecodedOp &dop = program.ops[static_cast<std::size_t>(pc)];
+        ++result.fuCount[static_cast<int>(dop.fu)];
+        std::int32_t next = dop.nextPc;
+        switch (inst.op) {
+          case Opcode::Load: {
+            const Addr ea = eaOf(inst, regs);
+            result.touchOrder.push_back(ea);
+            regs[inst.dst] = readWord(result.memOut, init, ea);
+            break;
+          }
+          case Opcode::Prefetch:
+            result.touchOrder.push_back(eaOf(inst, regs));
+            break;
+          case Opcode::Store: {
+            const Addr ea = eaOf(inst, regs);
+            result.touchOrder.push_back(ea);
+            result.memOut[MemoryImage::wordAddr(ea)] = regs[inst.dst];
+            break;
+          }
+          case Opcode::Branch: {
+            const std::int64_t v0 =
+                inst.src0 != kNoReg ? regs[inst.src0] : 0;
+            const bool taken = (v0 != 0) != inst.invert;
+            next = taken ? inst.target : pc + 1;
+            if (options.transientWindow > 0) {
+                const std::int32_t wrong =
+                    taken ? pc + 1 : inst.target;
+                if (wrong >= 0 && wrong < size)
+                    transientWalk(program, wrong, regs, result.memOut,
+                                  init, options.transientWindow,
+                                  result.transientEas);
+            }
+            break;
+          }
+          case Opcode::Rdtsc:
+            result.usedClock = true;
+            regs[inst.dst] = 0;
+            break;
+          case Opcode::Halt:
+            result.halted = true;
+            return result;
+          case Opcode::Nop:
+          case Opcode::Jump:
+            break;
+          case Opcode::Lea:
+            regs[inst.dst] =
+                static_cast<std::int64_t>(eaOf(inst, regs));
+            break;
+          default: {
+            const std::int64_t v0 =
+                inst.src0 != kNoReg ? regs[inst.src0] : 0;
+            const std::int64_t rhs = inst.src1 != kNoReg
+                                         ? regs[inst.src1]
+                                         : inst.imm;
+            regs[inst.dst] = aluOf(inst.op, v0, rhs);
+            break;
+          }
+        }
+        pc = next;
+    }
+    return result;
+}
+
+} // namespace hr

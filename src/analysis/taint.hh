@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Forward taint + constant-propagation dataflow over a DecodedProgram.
+ *
+ * The paper's gadgets all reduce to one static property: a
+ * secret-dependent difference in what the program does to the
+ * microarchitecture (which lines it touches, which way it branches,
+ * which functional units it occupies). This pass proves or refutes
+ * that property without running the simulator. Callers mark the
+ * secret sources — registers live-in to the program and/or memory
+ * lines — and the pass propagates taint through the ISA's dependence
+ * links (`srcs[]`/`writesDst`, effective-address scales, store/load
+ * aliasing) to a fixpoint over the CFG, reporting every
+ * secret-dependent memory address, branch condition, and FU-class
+ * choice. A program with no findings is constant-time with respect to
+ * the marked secrets: its op stream, footprint, and timing are
+ * secret-independent.
+ *
+ * Alongside taint, the same fixpoint runs a constant-propagation
+ * lattice (Known(v) / Unknown per register, plus a flow-sensitive
+ * word-granular memory environment seeded from the caller's pokes).
+ * Constants are what make the cache-footprint model (footprint.hh)
+ * precise: most gadget programs compute every effective address from
+ * immediates and poked pointers, so the analyzer can name the exact
+ * lines and sets the program may touch.
+ *
+ * Control taint is handled via post-dominators: a tainted branch
+ * control-taints every pc between its successors and its immediate
+ * post-dominator, and values written there become tainted (implicit
+ * flows). The pass iterates taint + control-taint to a combined
+ * fixpoint, so nested implicit flows converge.
+ */
+
+#ifndef HR_ANALYSIS_TAINT_HH
+#define HR_ANALYSIS_TAINT_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/decoded_program.hh"
+#include "util/types.hh"
+
+namespace hr
+{
+
+/**
+ * The caller's secret-source annotation: which of the program's
+ * live-in registers and which memory lines hold secret data. This is
+ * the taint-source annotation API: `hr_bench analyze --program` demo
+ * programs carry one, and the ROADMAP-5 synthesizer will generate
+ * them per candidate.
+ */
+struct TaintSpec
+{
+    std::vector<RegId> regs; ///< secret live-in registers
+    std::vector<Addr> addrs; ///< secret memory addresses (line-granular)
+    int lineBytes = 64;      ///< granularity for addr matching
+
+    bool empty() const { return regs.empty() && addrs.empty(); }
+    bool coversAddr(Addr addr) const;
+};
+
+/** What kind of secret dependence a finding reports. */
+enum class LeakKind : std::uint8_t
+{
+    Address,    ///< mem-op effective address is data-dependent on secret
+    Branch,     ///< branch condition is data-dependent on secret
+    ControlMem, ///< mem op executes only on one side of a secret branch
+    ControlFu,  ///< non-IntAlu op executes only on one side of a secret branch
+};
+
+std::string leakKindName(LeakKind kind);
+
+/** One secret-dependent program point. */
+struct TaintFinding
+{
+    std::int32_t pc = 0;
+    LeakKind kind = LeakKind::Address;
+    std::string detail; ///< human-readable evidence
+
+    bool operator<(const TaintFinding &o) const
+    {
+        return pc != o.pc ? pc < o.pc
+                          : static_cast<int>(kind) < static_cast<int>(o.kind);
+    }
+};
+
+/** Result of the taint/constant fixpoint for one program. */
+struct TaintReport
+{
+    std::vector<TaintFinding> findings; ///< sorted by pc
+    /** pcs executed under a secret branch (control-taint region). */
+    std::set<std::int32_t> controlTainted;
+    /** Statically resolved addresses each mem op may touch (by pc). */
+    std::map<std::int32_t, std::set<Addr>> mayTouch;
+    /** Mem-op pcs whose address never resolved to a constant. */
+    std::set<std::int32_t> unresolvedMemPcs;
+    bool hasLoop = false; ///< CFG back edge reachable from entry
+
+    /** No secret-dependent address, branch, or FU choice. */
+    bool constantTime() const { return findings.empty(); }
+};
+
+/**
+ * Run the combined taint + constant-propagation fixpoint.
+ *
+ * @p initial_regs seeds the constant lattice (registers the harness
+ * would pass to Machine::run); secret registers from @p spec override
+ * them as tainted-unknown. @p initial_memory seeds the memory
+ * environment with word-granular known values (the caller's pokes);
+ * loads from addresses covered by @p spec.addrs read tainted-unknown.
+ */
+TaintReport
+analyzeTaint(const DecodedProgram &program, const TaintSpec &spec,
+             const std::vector<std::pair<RegId, std::int64_t>> &initial_regs =
+                 {},
+             const std::map<Addr, std::int64_t> &initial_memory = {});
+
+} // namespace hr
+
+#endif // HR_ANALYSIS_TAINT_HH

@@ -167,6 +167,29 @@ runPerfSuites(const PerfOptions &options)
                          name) != options.only.end();
     };
 
+    // Reject unknown --suite names up front instead of silently
+    // selecting nothing, with the usual edit-distance suggestion.
+    static const std::vector<std::string> kSuiteNames = {
+        "host_speed",        "core_throughput",
+        "cache_access_rate", "machine_construct",
+        "snapshot_restore",  "trial_path_fresh",
+        "trial_path_scalar", "trial_path_restore",
+        "trial_path_speedup", "batch_speedup",
+        "batched_trial_path", "decode_cache_hit",
+        "fig08_quick_wall",  "fig10_quick_wall",
+        "channel_symbol_rate", "channel_frame_path",
+        "sweep_points"};
+    for (const std::string &name : options.only) {
+        if (std::find(kSuiteNames.begin(), kSuiteNames.end(), name) !=
+            kSuiteNames.end())
+            continue;
+        const std::string suggestion = closestMatch(name, kSuiteNames);
+        fatal("perf: unknown suite '" + name + "'" +
+              (suggestion.empty()
+                   ? ""
+                   : " (did you mean '" + suggestion + "'?)"));
+    }
+
     std::vector<PerfSuite> suites;
 
     if (wanted("host_speed")) {

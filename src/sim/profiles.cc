@@ -1,6 +1,7 @@
 #include "sim/profiles.hh"
 
 #include "util/log.hh"
+#include "util/params.hh"
 
 namespace hr
 {
@@ -124,10 +125,17 @@ machineConfigForProfile(const std::string &name)
     for (const auto &profile : profileTable())
         if (profile.name == name)
             return profile.make();
+    std::vector<std::string> names;
     std::string known;
-    for (const auto &profile : profileTable())
+    for (const auto &profile : profileTable()) {
+        names.push_back(profile.name);
         known += (known.empty() ? "" : ", ") + profile.name;
-    fatal("unknown machine profile '" + name + "' (known: " + known + ")");
+    }
+    const std::string suggestion = closestMatch(name, names);
+    fatal("unknown machine profile '" + name + "'" +
+          (suggestion.empty() ? ""
+                              : " (did you mean '" + suggestion + "'?)") +
+          "; known: " + known);
 }
 
 } // namespace hr

@@ -75,9 +75,9 @@ coRunOnce(Machine &machine, int variant)
     const PerfCounters noise_before =
         machine.core().contextCounters(1);
     const ContextAccessStats prim_attr_before =
-        machine.hierarchy().contextStats(0);
+        machine.contextStats(0);
     const ContextAccessStats noise_attr_before =
-        machine.hierarchy().contextStats(1);
+        machine.contextStats(1);
 
     Program primary = makePrimary(variant);
     const RunResult result = machine.run(primary);
@@ -89,10 +89,10 @@ coRunOnce(Machine &machine, int variant)
     fp.noiseCommitted = (machine.core().contextCounters(1) -
                          noise_before)
                             .committedInstrs;
-    fp.primaryMisses = (machine.hierarchy().contextStats(0) -
+    fp.primaryMisses = (machine.contextStats(0) -
                         prim_attr_before)
                            .misses;
-    fp.noiseMisses = (machine.hierarchy().contextStats(1) -
+    fp.noiseMisses = (machine.contextStats(1) -
                       noise_attr_before)
                          .misses;
     fp.l1MissesTotal = machine.hierarchy().l1().stats().misses;
@@ -174,7 +174,7 @@ TEST(MultiContext, RunOnSecondaryContext)
                   .committedInstrs,
               0u);
     // The secondary context's accesses are attributed to it.
-    EXPECT_GT(machine.hierarchy().contextStats(1).misses, 0u);
+    EXPECT_GT(machine.contextStats(1).misses, 0u);
 }
 
 TEST(MultiContext, ExplicitCoRunnersInterleave)

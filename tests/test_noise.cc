@@ -59,17 +59,17 @@ Observation
 observe(Machine &machine)
 {
     const ContextAccessStats before0 =
-        machine.hierarchy().contextStats(0);
+        machine.contextStats(0);
     const ContextAccessStats before1 =
-        machine.hierarchy().contextStats(1);
+        machine.contextStats(1);
     Program prog = primaryWorkload();
     const RunResult result = machine.run(prog);
     Observation obs;
     obs.cycles = result.cycles();
     obs.primaryMisses =
-        (machine.hierarchy().contextStats(0) - before0).misses;
+        (machine.contextStats(0) - before0).misses;
     obs.neighborMisses =
-        (machine.hierarchy().contextStats(1) - before1).misses;
+        (machine.contextStats(1) - before1).misses;
     return obs;
 }
 

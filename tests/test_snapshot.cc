@@ -324,7 +324,7 @@ TEST(Snapshot, PoolLeasesCoverAllContexts)
         noise_committed[round] =
             machine.core().contextCounters(1).committedInstrs;
         primary_misses[round] =
-            machine.hierarchy().contextStats(0).misses;
+            machine.contextStats(0).misses;
     }
     EXPECT_EQ(noise_committed[0], noise_committed[1]);
     EXPECT_EQ(primary_misses[0], primary_misses[1]);
