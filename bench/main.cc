@@ -17,8 +17,9 @@
  *   hr_bench perf [--quick] [--suite=NAME]... [--out=FILE]
  *                 [--baseline=FILE] [--tolerance=T] [--seed=S]
  *   hr_bench analyze <gadget|channel|program>... | --all
- *                    [--profile=NAME] [--jobs=N] [--no-validate]
- *                    [--param key=value] [--format=table|json]
+ *                    [--capacity] [--profile=NAME] [--jobs=N]
+ *                    [--no-validate] [--param key=value]
+ *                    [--format=table|json]
  *   hr_bench analyze --list-programs
  *
  * Scenario names resolve by exact match or unique prefix (`run fig04`),
@@ -102,6 +103,8 @@ usage()
         "(repeatable)\n"
         "\n"
         "analyze options:\n"
+        "  --capacity           QIF capacity bounds (bits/trial) "
+        "instead of leak classes\n"
         "  --profile=NAME       machine profile (default: first "
         "compatible of default/plru/smt2/smt2_plru)\n"
         "  --jobs=N             analyze targets in parallel (output "
@@ -141,6 +144,7 @@ struct Cli
     std::string baseline;
     double tolerance = 0.25;
     bool validate = true;
+    bool capacity = false;
     bool list_programs = false;
     std::vector<std::string> seen; ///< flag names given, for rejectStray
 
@@ -181,6 +185,9 @@ struct Cli
             } else if (arg == "--no-validate") {
                 cli.validate = false;
                 cli.seen.push_back("no-validate");
+            } else if (arg == "--capacity") {
+                cli.capacity = true;
+                cli.seen.push_back("capacity");
             } else if (arg == "--list-programs") {
                 cli.list_programs = true;
                 cli.seen.push_back("list-programs");
@@ -320,7 +327,8 @@ rejectStray(const Cli &cli, const std::string &command)
     std::vector<std::string> allowed = {"format"};
     if (command == "analyze") {
         allowed.insert(allowed.end(), {"all", "jobs", "profile", "param",
-                                       "no-validate", "list-programs"});
+                                       "no-validate", "capacity",
+                                       "list-programs"});
     } else if (command == "run") {
         allowed.insert(allowed.end(), {"all", "trials", "jobs", "seed",
                                        "profile", "param", "no-batch"});
@@ -347,11 +355,12 @@ cmdGadgets(const Cli &cli)
     const auto gadgets = GadgetRegistry::instance().all();
     if (gadgets.empty())
         return emptyRegistry("gadgets");
-    Table table({"gadget", "kind", "leakage", "parameters",
+    Table table({"gadget", "kind", "leakage", "cap_bound", "parameters",
                  "description"});
     for (const GadgetInfo *gadget : gadgets)
         table.addRow({gadget->name, gadget->kind,
-                      leakageClassFor(gadget->name), gadget->params,
+                      leakageClassFor(gadget->name),
+                      capacityBoundFor(gadget->name), gadget->params,
                       gadget->description});
     if (cli.options.format == Format::Table) {
         table.print();
@@ -372,12 +381,13 @@ cmdChannels(const Cli &cli)
     const auto channels = ChannelRegistry::instance().all();
     if (channels.empty())
         return emptyRegistry("channels");
-    Table table({"channel", "gadget", "mod", "leakage", "parameters",
-                 "description"});
+    Table table({"channel", "gadget", "mod", "leakage", "cap_bound",
+                 "parameters", "description"});
     for (const ChannelInfo *channel : channels)
         table.addRow({channel->name, channel->gadget,
                       channel->modulation,
                       leakageClassFor(channel->gadget),
+                      capacityBoundFor(channel->gadget),
                       channel->params, channel->description});
     if (cli.options.format == Format::Table) {
         table.print();
@@ -507,7 +517,25 @@ cmdAnalyze(const Cli &cli)
     options.profile = cli.options.profile;
     options.jobs = cli.options.jobs;
     options.validate = cli.validate;
+    options.capacity = cli.capacity;
     options.params = cli.options.params;
+
+    if (options.capacity) {
+        const std::vector<CapacityReport> reports =
+            runCapacityAnalysis(options);
+        std::ostringstream out;
+        if (cli.options.format == Format::Json)
+            printCapacityJson(out, reports);
+        else if (cli.options.format == Format::Table)
+            printCapacityTable(out, reports);
+        else
+            fatal("analyze: --format must be table or json");
+        std::fputs(out.str().c_str(), stdout);
+        bool ok = true;
+        for (const CapacityReport &report : reports)
+            ok &= report.status.rfind("error:", 0) != 0;
+        return ok ? 0 : 1;
+    }
 
     const std::vector<LeakageReport> reports = runAnalysis(options);
     std::ostringstream out;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iomanip>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -125,6 +126,81 @@ runTask(const Task &task, const AnalyzeOptions &options)
     return {};
 }
 
+CapacityReport
+runCapacityTask(const Task &task, const AnalyzeOptions &options)
+{
+    try {
+        switch (task.kind) {
+          case TargetKind::Gadget:
+            return analyzeGadgetCapacity(task.name, options.profile,
+                                         options.params);
+          case TargetKind::Channel:
+            return analyzeChannelCapacity(task.name, options.profile,
+                                          options.params);
+          case TargetKind::Program:
+            return analyzeProgramCapacity(
+                *findProgramTarget(task.name), options.profile);
+        }
+    } catch (const std::exception &e) {
+        CapacityReport report;
+        report.target = task.name;
+        report.profile = options.profile;
+        report.status = std::string("error: ") + e.what();
+        return report;
+    }
+    return {};
+}
+
+/** The resolved, registry-ordered task list for one invocation. */
+std::vector<Task>
+resolveTasks(const AnalyzeOptions &options)
+{
+    std::vector<Task> tasks;
+    if (options.all) {
+        for (const auto &[kind, name] : allTargets())
+            tasks.push_back({kind, name});
+    } else {
+        fatalIf(options.targets.empty(),
+                "analyze: name at least one gadget/channel/program "
+                "(or --all)");
+        for (const std::string &name : options.targets)
+            tasks.push_back(resolveTarget(name));
+    }
+    return tasks;
+}
+
+/**
+ * Per-index result slots + a shared work queue: output order is the
+ * task order regardless of --jobs, and every task builds its own
+ * machines/pool, so workers share nothing mutable.
+ */
+template <typename Report, typename Run>
+std::vector<Report>
+runTasks(const std::vector<Task> &tasks, int jobs, Run run)
+{
+    std::vector<Report> reports(tasks.size());
+    const int count = static_cast<int>(tasks.size());
+    const int workers = std::max(1, std::min(jobs, count));
+    std::atomic<int> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            reports[static_cast<std::size_t>(i)] =
+                run(tasks[static_cast<std::size_t>(i)]);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers - 1));
+    for (int t = 1; t < workers; ++t)
+        threads.emplace_back(work);
+    work();
+    for (std::thread &thread : threads)
+        thread.join();
+    return reports;
+}
+
 std::string
 joinNames(const std::vector<std::string> &names)
 {
@@ -147,42 +223,17 @@ validationCell(const ValidationResult &v)
 std::vector<LeakageReport>
 runAnalysis(const AnalyzeOptions &options)
 {
-    std::vector<Task> tasks;
-    if (options.all) {
-        for (const auto &[kind, name] : allTargets())
-            tasks.push_back({kind, name});
-    } else {
-        fatalIf(options.targets.empty(),
-                "analyze: name at least one gadget/channel/program "
-                "(or --all)");
-        for (const std::string &name : options.targets)
-            tasks.push_back(resolveTarget(name));
-    }
+    return runTasks<LeakageReport>(
+        resolveTasks(options), options.jobs,
+        [&](const Task &task) { return runTask(task, options); });
+}
 
-    // Per-index result slots + a shared work queue: output order is
-    // the task order regardless of --jobs, and every task builds its
-    // own machines/pool, so workers share nothing mutable.
-    std::vector<LeakageReport> reports(tasks.size());
-    const int count = static_cast<int>(tasks.size());
-    const int workers = std::max(1, std::min(options.jobs, count));
-    std::atomic<int> next{0};
-    auto work = [&]() {
-        for (;;) {
-            const int i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count)
-                return;
-            reports[static_cast<std::size_t>(i)] =
-                runTask(tasks[static_cast<std::size_t>(i)], options);
-        }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers - 1));
-    for (int t = 1; t < workers; ++t)
-        threads.emplace_back(work);
-    work();
-    for (std::thread &thread : threads)
-        thread.join();
-    return reports;
+std::vector<CapacityReport>
+runCapacityAnalysis(const AnalyzeOptions &options)
+{
+    return runTasks<CapacityReport>(
+        resolveTasks(options), options.jobs,
+        [&](const Task &task) { return runCapacityTask(task, options); });
 }
 
 void
@@ -267,6 +318,93 @@ printReportJson(std::ostream &os,
             os << (j ? ", " : "")
                << jsonQuote(r.validation.failures[j]);
         os << "]},\n";
+        os << "    \"detail\": " << jsonQuote(r.detail) << "\n";
+        os << "  }" << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+namespace
+{
+
+/** One bits cell: one decimal, "*" when the partition was widened. */
+std::string
+bitsCell(double bits, bool exact)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << bits;
+    if (!exact)
+        os << '*';
+    return os.str();
+}
+
+} // namespace
+
+void
+printCapacityTable(std::ostream &os,
+                   const std::vector<CapacityReport> &reports)
+{
+    Table table({"target", "kind", "profile", "status", "vals",
+                 "cap_bound", "l1_fill_set", "probe_sequence",
+                 "fu_timing", "transient", "best surface"});
+    for (const CapacityReport &report : reports) {
+        std::vector<std::string> row = {report.target, report.kind,
+                                        report.profile, report.status};
+        if (report.status == "ok") {
+            row.push_back(std::to_string(report.bound.valuations));
+            row.push_back(bitsCell(report.bound.bits,
+                                   report.bound.exact));
+            for (const FamilyBound &fb : report.bound.families)
+                row.push_back(bitsCell(fb.bits, fb.exact));
+            row.push_back(report.bound.bestFamily);
+        } else {
+            while (row.size() < 11)
+                row.push_back("-");
+        }
+        table.addRow(row);
+    }
+    os << table.render();
+}
+
+void
+printCapacityJson(std::ostream &os,
+                  const std::vector<CapacityReport> &reports)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const CapacityReport &r = reports[i];
+        os << "  {\n";
+        os << "    \"target\": " << jsonQuote(r.target) << ",\n";
+        os << "    \"kind\": " << jsonQuote(r.kind) << ",\n";
+        if (!r.gadget.empty())
+            os << "    \"gadget\": " << jsonQuote(r.gadget) << ",\n";
+        os << "    \"profile\": " << jsonQuote(r.profile) << ",\n";
+        os << "    \"status\": " << jsonQuote(r.status) << ",\n";
+        os << "    \"opaque\": " << (r.opaque ? "true" : "false")
+           << ",\n";
+        os << "    \"valuations\": [";
+        for (std::size_t j = 0; j < r.valuationLabels.size(); ++j)
+            os << (j ? ", " : "") << jsonQuote(r.valuationLabels[j]);
+        os << "],\n";
+        os << "    \"cap_bound_bits\": " << jsonNum(r.bound.bits)
+           << ",\n";
+        os << "    \"joint_classes\": " << r.bound.jointClasses
+           << ",\n";
+        os << "    \"exact\": " << (r.bound.exact ? "true" : "false")
+           << ",\n";
+        os << "    \"best_family\": " << jsonQuote(r.bound.bestFamily)
+           << ",\n";
+        os << "    \"families\": [";
+        for (std::size_t j = 0; j < r.bound.families.size(); ++j) {
+            const FamilyBound &fb = r.bound.families[j];
+            os << (j ? ", " : "") << "{\"family\": "
+               << jsonQuote(observerFamilyName(fb.family))
+               << ", \"classes\": " << fb.classes
+               << ", \"widened\": " << fb.widened
+               << ", \"bits\": " << jsonNum(fb.bits) << ", \"exact\": "
+               << (fb.exact ? "true" : "false") << "}";
+        }
+        os << "],\n";
         os << "    \"detail\": " << jsonQuote(r.detail) << "\n";
         os << "  }" << (i + 1 < reports.size() ? "," : "") << "\n";
     }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/capacity.hh"
 #include "analysis/leakage.hh"
 
 namespace hr
@@ -33,12 +34,23 @@ struct AnalyzeOptions
     std::string profile;    ///< empty = per-gadget default profile
     int jobs = 1;
     bool validate = true;   ///< cross-validate on pooled machines
+    bool capacity = false;  ///< QIF capacity bounds instead of classes
     ParamSet params;        ///< forwarded to gadget configure()
 };
 
 /** Run the analyzer over the resolved target set. Fatal (throws) on
  * an unknown target name, with a closestMatch suggestion. */
 std::vector<LeakageReport> runAnalysis(const AnalyzeOptions &options);
+
+/**
+ * Run the capacity engine (capacity.hh) over the resolved target set
+ * instead of the leak classifier — same resolution, ordering, and
+ * --jobs determinism contract as runAnalysis; `validate` is ignored
+ * (capacity bounds are checked against measurement by the
+ * fig_capacity_bound_vs_measured scenario, not per-run validation).
+ */
+std::vector<CapacityReport>
+runCapacityAnalysis(const AnalyzeOptions &options);
 
 /** Aligned human-readable table of reports. */
 void printReportTable(std::ostream &os,
@@ -47,6 +59,14 @@ void printReportTable(std::ostream &os,
 /** Machine-readable JSON array of reports. */
 void printReportJson(std::ostream &os,
                      const std::vector<LeakageReport> &reports);
+
+/** Aligned capacity table: joint bound + per-family bits columns. */
+void printCapacityTable(std::ostream &os,
+                        const std::vector<CapacityReport> &reports);
+
+/** Machine-readable JSON array of capacity reports. */
+void printCapacityJson(std::ostream &os,
+                       const std::vector<CapacityReport> &reports);
 
 } // namespace hr
 

@@ -18,14 +18,10 @@ namespace
 /** Interpreter budget for recorded co-runners (endless loops). */
 constexpr std::uint64_t kCoRunnerCap = 100'000;
 
-/**
- * Fold one recorded polarity trace into a footprint: pokes seed the
- * memory environment, warms/flushes become state events, and every
- * Run op's decoded program goes through the reference interpreter
- * with the registers the gadget actually passed.
- */
+} // namespace
+
 CacheFootprint
-foldTrace(const TrialTrace &trace, const MachineConfig &config)
+foldTrialTrace(const TrialTrace &trace, const MachineConfig &config)
 {
     FootprintBuilder builder(config);
     std::map<Addr, std::int64_t> memory;
@@ -77,6 +73,42 @@ foldTrace(const TrialTrace &trace, const MachineConfig &config)
     }
     return builder.finish();
 }
+
+GadgetRecording
+recordGadgetFootprints(TimingSource &source, MachinePool &machines,
+                       const MachineConfig &config)
+{
+    GadgetRecording recording;
+    {
+        MachinePool::Lease lease = machines.lease();
+        if (!source.compatible(lease.machine())) {
+            recording.status = "incompatible";
+            return recording;
+        }
+        try {
+            source.calibrate(lease.machine());
+            source.sample(lease.machine(), false);
+            source.sample(lease.machine(), true);
+        } catch (const std::exception &) {
+            recording.status = "calib_fail";
+            return recording;
+        }
+    }
+    for (int polarity = 0; polarity < 2; ++polarity) {
+        MachinePool::Lease lease = machines.lease();
+        Machine &machine = lease.machine();
+        TrialTrace trace;
+        machine.beginRecord(trace);
+        source.sample(machine, polarity == 1);
+        machine.endRecord();
+        recording.opaque |= trace.opaque;
+        recording.footprint[polarity] = foldTrialTrace(trace, config);
+    }
+    return recording;
+}
+
+namespace
+{
 
 /** Sum of traced per-context demand observations after a sample. */
 struct Observed
@@ -211,32 +243,15 @@ analyzeGadget(const std::string &name, const std::string &profile,
     std::unique_ptr<TimingSource> source;
     try {
         source = GadgetRegistry::instance().make(info.name, params);
-        {
-            MachinePool::Lease lease = machines->lease();
-            if (!source->compatible(lease.machine())) {
-                report.status = "incompatible";
-                return report;
-            }
-            try {
-                source->calibrate(lease.machine());
-                source->sample(lease.machine(), false);
-                source->sample(lease.machine(), true);
-            } catch (const std::exception &) {
-                report.status = "calib_fail";
-                return report;
-            }
+        GadgetRecording recording =
+            recordGadgetFootprints(*source, *machines, config);
+        if (recording.status != "ok") {
+            report.status = recording.status;
+            return report;
         }
-
-        for (int polarity = 0; polarity < 2; ++polarity) {
-            MachinePool::Lease lease = machines->lease();
-            Machine &machine = lease.machine();
-            TrialTrace trace;
-            machine.beginRecord(trace);
-            source->sample(machine, polarity == 1);
-            machine.endRecord();
-            report.opaque |= trace.opaque;
-            report.footprint[polarity] = foldTrace(trace, config);
-        }
+        report.opaque = recording.opaque;
+        report.footprint[0] = std::move(recording.footprint[0]);
+        report.footprint[1] = std::move(recording.footprint[1]);
     } catch (const std::exception &e) {
         report.status = std::string("error: ") + e.what();
         return report;
@@ -437,6 +452,7 @@ programTargets()
             t.spec.regs = {secret};
             t.fastRegs = {{secret, 0}};
             t.slowRegs = {{secret, 1}};
+            t.secretValues = {0, 1, 2, 3, 4, 5, 6, 7};
             out.push_back(std::move(t));
         }
 
@@ -464,6 +480,7 @@ programTargets()
             t.spec.regs = {secret};
             t.fastRegs = {{secret, 0}};
             t.slowRegs = {{secret, 1}};
+            t.secretValues = {0, 1};
             out.push_back(std::move(t));
         }
 
@@ -487,6 +504,7 @@ programTargets()
             t.spec.regs = {secret};
             t.fastRegs = {{secret, 17}};
             t.slowRegs = {{secret, 4242}};
+            t.secretValues = {1, 5, 17, 4242};
             out.push_back(std::move(t));
         }
 
@@ -511,6 +529,7 @@ programTargets()
             t.spec.addrs = {0x6400'0000};
             t.fastPokes[0x6400'0000] = 2;
             t.slowPokes[0x6400'0000] = 5;
+            t.secretValues = {0, 1, 2, 3};
             out.push_back(std::move(t));
         }
 

@@ -48,6 +48,39 @@
 namespace hr
 {
 
+class TimingSource;
+struct TrialTrace;
+
+/**
+ * Fold one recorded trial trace into a static footprint: pokes seed
+ * the memory environment, warms/flushes become state events, and
+ * every Run op's decoded program goes through the reference
+ * interpreter with the registers the trial actually passed. Exported
+ * for the capacity engine (capacity.hh), which folds per-valuation
+ * traces through the same model the classifier uses.
+ */
+CacheFootprint foldTrialTrace(const TrialTrace &trace,
+                              const MachineConfig &config);
+
+/** The two polarity footprints recorded from a live gadget. */
+struct GadgetRecording
+{
+    std::string status = "ok"; ///< ok | incompatible | calib_fail
+    bool opaque = false; ///< a recording went opaque (approximate)
+    CacheFootprint footprint[2]; ///< [0] = fast, [1] = slow polarity
+};
+
+/**
+ * Prime @p source on @p machines (calibrate + one throwaway sample
+ * per polarity, so lazy rebinding and one-time calibration work are
+ * absorbed before recording) and record one steady-state sample()
+ * per polarity, folding each trace through foldTrialTrace. Gadget
+ * errors beyond incompatibility/calibration propagate as exceptions.
+ */
+GadgetRecording recordGadgetFootprints(TimingSource &source,
+                                       MachinePool &machines,
+                                       const MachineConfig &config);
+
 /** Outcome of the dynamic cross-validation of one static report. */
 struct ValidationResult
 {
@@ -110,6 +143,14 @@ struct ProgramTarget
     std::vector<std::pair<RegId, std::int64_t>> fastRegs, slowRegs;
     /** Per-polarity overrides of @ref pokes (memory-borne secrets). */
     std::map<Addr, std::int64_t> fastPokes, slowPokes;
+    /**
+     * N-valued secret domain for the capacity engine: when non-empty,
+     * every secret source in @ref spec takes each of these values
+     * (cartesian), generalizing the two-polarity pair above. The
+     * classifier pipeline keeps using fast/slow; only `analyze
+     * --capacity` enumerates this domain.
+     */
+    std::vector<std::int64_t> secretValues;
 };
 
 /** Taint + differential + validation for one annotated program. */

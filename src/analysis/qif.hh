@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Quantitative information flow: static channel-capacity bounds from
+ * observer-equivalence partitions of N-valued secret domains.
+ *
+ * PR 7's analyzer is a classifier — it proves *whether* a program's
+ * microarchitectural behaviour depends on a secret. The co-design
+ * loop (ROADMAP open item 5) needs *how much*: a per-gadget,
+ * per-defense capacity number comparable against the measured
+ * capacity/BER/MI the channel stack produces. This module supplies
+ * that number by lifting the two-polarity differential pipeline to
+ * arbitrary finite secret domains:
+ *
+ *   1. Enumerate the secret's valuations (a SecretDomain — every
+ *      concrete assignment of the TaintSpec's secret registers and
+ *      memory lines the adversary must distinguish among).
+ *   2. Run the exact reference interpreter + footprint model once per
+ *      valuation (the caller does this; see capacity.hh).
+ *   3. Partition the valuations into observer-equivalence classes per
+ *      observer family: two valuations are equivalent iff every
+ *      observer of that family provably sees the same thing.
+ *
+ * The static capacity upper bound per trial is log2(#classes) of the
+ * joint partition (all families observed at once) — an adversary who
+ * runs one trial per secret learns at most that many bits, because
+ * valuations in one class produce identical observables. Soundness
+ * under approximation comes from the footprint model's exactness
+ * bits: a valuation whose prediction is not provably exact
+ * (fillsExact / accessesExact false) cannot be proven equivalent to
+ * anything, so it is *widened* into a singleton class. Widening can
+ * only grow the class count, so the bound stays an upper bound; it
+ * just gets looser (and the report says so via `exact`).
+ *
+ * Observer families (the observation surfaces the registered gadget
+ * zoo actually reads):
+ *
+ *   l1_fill_set          which lines the program leaves resident in
+ *                        the L1 (presence probes: pa, repetition, the
+ *                        fill-counting contention sources)
+ *   probe_sequence       the ordered line-granular touch/warm/flush
+ *                        stream (replacement-state readers: the PLRU
+ *                        reorder/pin magnifiers observe order, not
+ *                        just presence)
+ *   fu_timing            committed op counts per functional-unit
+ *                        class (port-contention and latency timers)
+ *   transient_footprint  lines reachable on squashed wrong paths
+ *                        (transient-probe gadgets)
+ */
+
+#ifndef HR_ANALYSIS_QIF_HH
+#define HR_ANALYSIS_QIF_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/footprint.hh"
+#include "analysis/taint.hh"
+
+namespace hr
+{
+
+/** One concrete assignment of the secret (plus fixed public state). */
+struct SecretValuation
+{
+    std::string label; ///< e.g. "s=3" or "fast"/"slow"
+    /** Full initial-register assignment for this valuation. */
+    std::vector<std::pair<RegId, std::int64_t>> regs;
+    /** Full initial memory image for this valuation. */
+    std::map<Addr, std::int64_t> pokes;
+};
+
+/** The secret's value domain: every valuation to distinguish among. */
+struct SecretDomain
+{
+    std::vector<SecretValuation> valuations;
+
+    int size() const { return static_cast<int>(valuations.size()); }
+    bool empty() const { return valuations.empty(); }
+
+    /** The generic gadget-mode domain: {fast, slow} polarity inputs. */
+    static SecretDomain twoPolarity();
+};
+
+/**
+ * Enumeration guard: a TaintSpec with many secrets and a wide value
+ * list is a combinatorial explosion; enumerateSpecDomain refuses
+ * (fatal) past this many valuations rather than silently truncating
+ * — a truncated domain would be an *under*-count and hence unsound.
+ */
+constexpr int kMaxValuations = 256;
+
+/**
+ * Cartesian enumeration of @p spec's secret sources: every secret
+ * register and every secret memory line independently takes each
+ * value in @p values. @p base_regs / @p base_pokes supply the public
+ * initial state; enumerated secret values override them. A spec with
+ * no secrets yields the single base valuation (capacity 0 by
+ * construction). Fatal when the product exceeds kMaxValuations.
+ */
+SecretDomain enumerateSpecDomain(
+    const TaintSpec &spec, const std::vector<std::int64_t> &values,
+    const std::vector<std::pair<RegId, std::int64_t>> &base_regs = {},
+    const std::map<Addr, std::int64_t> &base_pokes = {});
+
+/** The observation surfaces of the registered gadget families. */
+enum class ObserverFamily : std::uint8_t
+{
+    L1FillSet,         ///< final L1-resident line set (presence probes)
+    ProbeSequence,     ///< ordered touch/warm/flush event stream
+    FuTiming,          ///< per-FU-class committed op counts
+    TransientFootprint ///< wrong-path (speculative) line reach
+};
+
+constexpr int kNumObserverFamilies = 4;
+
+const char *observerFamilyName(ObserverFamily family);
+
+/**
+ * Canonical serialization of what one observer family sees in a
+ * footprint. Two valuations with equal keys (both provably exact for
+ * the family) are indistinguishable by every observer of the family.
+ */
+std::string observationKey(const CacheFootprint &fp,
+                           ObserverFamily family,
+                           const MachineConfig &config);
+
+/**
+ * True iff the footprint's prediction of this family's observation
+ * is provably exact (the exactness bits the footprint model derives:
+ * fillsExact for the presence surface, accessesExact — a complete,
+ * branch-free, clock-free, co-runner-free touch stream — for the
+ * sequence/FU/transient surfaces).
+ */
+bool observationExact(const CacheFootprint &fp, ObserverFamily family);
+
+/** Partition of the domain under one observer family. */
+struct FamilyBound
+{
+    ObserverFamily family = ObserverFamily::L1FillSet;
+    int classes = 0; ///< observer-equivalence classes
+    int widened = 0; ///< valuations isolated because approximate
+    double bits = 0; ///< log2(classes); 0 for <= 1 class
+    bool exact = true; ///< widened == 0: the partition is provable
+};
+
+/** The full capacity verdict for one secret domain. */
+struct CapacityBound
+{
+    int valuations = 0;
+    /** Per-family partitions, in ObserverFamily order. */
+    std::vector<FamilyBound> families;
+    /**
+     * Joint-observation classes (all families read at once): the
+     * partition a best-case adversary induces. >= every per-family
+     * class count, <= the product.
+     */
+    int jointClasses = 0;
+    /** log2(jointClasses): the per-trial capacity upper bound. */
+    double bits = 0;
+    /** No valuation was widened: the bound is the provable optimum
+     * of the model, not an approximation-inflated ceiling. */
+    bool exact = false;
+    /** Highest-capacity single family (diagnostic, ties -> first). */
+    std::string bestFamily;
+};
+
+/**
+ * Bound the capacity of a secret domain from its per-valuation
+ * footprints (footprints[i] belongs to domain valuation i). An empty
+ * or singleton domain bounds at exactly 0 bits.
+ */
+CapacityBound boundCapacity(const std::vector<CacheFootprint> &footprints,
+                            const MachineConfig &config);
+
+} // namespace hr
+
+#endif // HR_ANALYSIS_QIF_HH

@@ -230,6 +230,26 @@ Channel::run(Machine &machine, const std::vector<bool> &payload)
     return stats;
 }
 
+ChannelStats
+Channel::measureSymbols(Machine &machine,
+                        const std::vector<bool> &symbols)
+{
+    fatalIf(!demod_.calibrated(),
+            "channel: measureSymbols before prepare");
+    ChannelStats stats;
+    const Cycle t0 = machine.now();
+    for (bool bit : symbols) {
+        const SymbolReading symbol = modulator_.transmit(machine, bit);
+        const bool decoded = demod_.decide(symbol.reading);
+        ++stats.symbolsSent;
+        stats.symbolErrors += decoded != bit ? 1 : 0;
+        ++stats.confusion[bit ? 1 : 0][decoded ? 1 : 0];
+    }
+    stats.cycles = machine.now() - t0;
+    stats.seconds = machine.toNs(stats.cycles) / 1e9;
+    return stats;
+}
+
 std::vector<ChannelStats>
 Channel::runBatched(BatchRunner &batch,
                     const std::vector<std::vector<bool>> &payloads)

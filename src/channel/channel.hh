@@ -123,6 +123,19 @@ class Channel
     ChannelStats run(Machine &machine, const std::vector<bool> &payload);
 
     /**
+     * Transmit @p symbols raw — no framing, preamble, or ECC: one
+     * modulator invocation and one hard demodulator decision per
+     * symbol, accumulated straight into the confusion matrix.
+     * Requires prepare() on the same machine. This is the per-symbol
+     * measurement the capacity scenarios compare against the static
+     * QIF bound: shannonBitsPerSymbol() of the returned stats is the
+     * measured MI of the bare physical channel, the quantity the
+     * per-trial bound log2(#observer classes) upper-bounds.
+     */
+    ChannelStats measureSymbols(Machine &machine,
+                                const std::vector<bool> &symbols);
+
+    /**
      * Transmit each payload as one lockstep-batched trial on a pooled
      * machine (see exp/batch.hh): prepare() is applied once as the
      * batch base state, the first payload of each group is simulated

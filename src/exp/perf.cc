@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "analysis/capacity.hh"
 #include "channel/channel_registry.hh"
 #include "exp/batch.hh"
 #include "exp/machine_pool.hh"
@@ -178,7 +179,7 @@ runPerfSuites(const PerfOptions &options)
         "batched_trial_path", "decode_cache_hit",
         "fig08_quick_wall",  "fig10_quick_wall",
         "channel_symbol_rate", "channel_frame_path",
-        "sweep_points"};
+        "sweep_points",       "analyze_capacity"};
     for (const std::string &name : options.only) {
         if (std::find(kSuiteNames.begin(), kSuiteNames.end(), name) !=
             kSuiteNames.end())
@@ -498,6 +499,24 @@ runPerfSuites(const PerfOptions &options)
             [&]() {
                 runSweep(sweep);
                 return points;
+            }));
+    }
+
+    if (wanted("analyze_capacity")) {
+        note("analyze_capacity");
+        // The full QIF pipeline per iteration: priming leases,
+        // record, trace fold through the reference interpreter, and
+        // the observer-equivalence partition.
+        suites.push_back(measureRate(
+            "analyze_capacity",
+            "gadget capacity analyses per second (repetition, "
+            "record + fold + partition)",
+            budget, [&]() {
+                const CapacityReport report =
+                    analyzeGadgetCapacity("repetition", "default", {});
+                fatalIf(report.status != "ok",
+                        "analyze_capacity: " + report.status);
+                return 1;
             }));
     }
 

@@ -13,7 +13,10 @@
 #include <stdexcept>
 
 #include "analysis/analyze.hh"
+#include "analysis/capacity.hh"
 #include "analysis/leakage.hh"
+#include "channel/channel.hh"
+#include "channel/channel_registry.hh"
 #include "exp/perf.hh"
 #include "isa/program.hh"
 #include "sim/machine.hh"
@@ -262,6 +265,45 @@ TEST(Analysis, DriverDeterministicAcrossJobs)
     }
     EXPECT_EQ(renders[0], renders[1]);
     EXPECT_NE(renders[0].find("\"leak_class\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Capacity soundness regression: measured per-symbol MI never exceeds
+// the static QIF bound, and the bound is tight for several channels
+// (the ISSUE 8 acceptance bar, same math as the
+// fig_capacity_bound_vs_measured scenario).
+// ---------------------------------------------------------------------
+
+TEST(Analysis, CapacityBoundsMeasuredShannonMi)
+{
+    const char *profile = "smt2_plru";
+    const MachineConfig config = machineConfigForProfile(profile);
+    int measured = 0;
+    int tight = 0;
+    for (const ChannelInfo *info : ChannelRegistry::instance().all()) {
+        const CapacityReport report =
+            analyzeChannelCapacity(info->name, profile, {});
+        ASSERT_EQ(report.status, "ok") << info->name;
+
+        Machine machine(config);
+        Channel channel(
+            ChannelRegistry::instance().makeConfig(info->name, {}));
+        if (!channel.compatible(machine))
+            continue;
+        channel.prepare(machine);
+        std::vector<bool> symbols;
+        for (int i = 0; i < 64; ++i)
+            symbols.push_back(i % 2 == 1);
+        const ChannelStats stats =
+            channel.measureSymbols(machine, symbols);
+        const double mi = stats.shannonBitsPerSymbol();
+        EXPECT_LE(mi, report.bound.bits + 1e-9) << info->name;
+        ++measured;
+        tight += report.bound.bits - mi <= 1.0 ? 1 : 0;
+    }
+    EXPECT_EQ(measured,
+              static_cast<int>(ChannelRegistry::instance().all().size()));
+    EXPECT_GE(tight, 3);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * QIF engine tests: secret-domain enumeration (labels, base-state
+ * overlay, explosion guard), observer-equivalence partitions on
+ * degenerate domains (empty program, zero-influence secret,
+ * singleton domain), bound monotonicity under domain widening, and
+ * determinism of the capacity driver across worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/analyze.hh"
+#include "analysis/capacity.hh"
+#include "analysis/qif.hh"
+#include "isa/program.hh"
+#include "sim/profiles.hh"
+
+namespace hr
+{
+namespace
+{
+
+/** The archetypal leaky target: load address = base + secret*64. */
+ProgramTarget
+indexedLoadTarget(std::vector<std::int64_t> values)
+{
+    ProgramTarget t;
+    t.name = "t_indexed";
+    ProgramBuilder b(t.name);
+    const RegId secret = b.newReg();
+    Instruction load;
+    load.op = Opcode::Load;
+    load.dst = b.newReg();
+    load.src0 = secret;
+    load.scale0 = 64;
+    load.imm = 0x7100'0000;
+    b.emit(load);
+    b.halt();
+    t.program = b.take();
+    t.spec.regs = {secret};
+    t.fastRegs = {{secret, 0}};
+    t.slowRegs = {{secret, 1}};
+    t.secretValues = std::move(values);
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Secret-domain enumeration.
+// ---------------------------------------------------------------------
+
+TEST(SecretDomain, TwoPolarityIsTheClassifierDomain)
+{
+    const SecretDomain domain = SecretDomain::twoPolarity();
+    ASSERT_EQ(domain.size(), 2);
+    EXPECT_EQ(domain.valuations[0].label, "fast");
+    EXPECT_EQ(domain.valuations[1].label, "slow");
+}
+
+TEST(SecretDomain, EnumeratesCartesianOverRegsAndAddrs)
+{
+    TaintSpec spec;
+    spec.regs = {static_cast<RegId>(3)};
+    spec.addrs = {0x6400'0000};
+    const SecretDomain domain =
+        enumerateSpecDomain(spec, {0, 1, 2}, {{4, 99}});
+    ASSERT_EQ(domain.size(), 9); // 3 values ^ 2 secrets
+    // The public base assignment survives in every valuation.
+    for (const SecretValuation &valuation : domain.valuations) {
+        bool base_seen = false;
+        for (const auto &[reg, value] : valuation.regs)
+            base_seen |= reg == 4 && value == 99;
+        EXPECT_TRUE(base_seen) << valuation.label;
+        EXPECT_EQ(valuation.pokes.size(), 1u);
+    }
+    EXPECT_EQ(domain.valuations.front().label, "r3=0,m64000000=0");
+}
+
+TEST(SecretDomain, NoSecretsYieldsSingleBaseValuation)
+{
+    const SecretDomain domain = enumerateSpecDomain({}, {0, 1, 2});
+    ASSERT_EQ(domain.size(), 1);
+    EXPECT_EQ(domain.valuations.front().label, "base");
+}
+
+TEST(SecretDomain, RefusesCombinatorialExplosion)
+{
+    TaintSpec spec;
+    for (int reg = 0; reg < 9; ++reg)
+        spec.regs.push_back(static_cast<RegId>(reg));
+    // 2^9 = 512 > kMaxValuations: must refuse, never truncate.
+    EXPECT_THROW(enumerateSpecDomain(spec, {0, 1}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate domains bound at exactly 0 bits.
+// ---------------------------------------------------------------------
+
+TEST(Capacity, EmptyProgramBoundsAtZero)
+{
+    ProgramTarget t;
+    t.name = "t_empty";
+    ProgramBuilder b(t.name);
+    b.halt();
+    t.program = b.take();
+    const CapacityReport report = analyzeProgramCapacity(t, "default");
+    ASSERT_EQ(report.status, "ok");
+    EXPECT_EQ(report.bound.bits, 0.0);
+    EXPECT_TRUE(report.bound.exact);
+}
+
+TEST(Capacity, ZeroInfluenceSecretBoundsAtExactlyZero)
+{
+    // Arithmetic-only mixing: the secret never reaches an address,
+    // branch, or FU choice, so every valuation lands in one class.
+    ProgramTarget t;
+    t.name = "t_blind";
+    ProgramBuilder b(t.name);
+    const RegId secret = b.newReg();
+    RegId acc = b.movImm(0x5a5a);
+    acc = b.binop(Opcode::Xor, acc, secret);
+    b.storeAbsolute(0x7200'0000, acc);
+    b.halt();
+    t.program = b.take();
+    t.spec.regs = {secret};
+    t.fastRegs = {{secret, 0}};
+    t.slowRegs = {{secret, 1}};
+    t.secretValues = {1, 2, 3, 4, 5, 6, 7, 8};
+    const CapacityReport report = analyzeProgramCapacity(t, "default");
+    ASSERT_EQ(report.status, "ok");
+    EXPECT_EQ(report.bound.valuations, 8);
+    EXPECT_EQ(report.bound.bits, 0.0);
+    EXPECT_TRUE(report.bound.exact);
+}
+
+TEST(Capacity, SingleValuationDomainBoundsAtZero)
+{
+    const CapacityReport report =
+        analyzeProgramCapacity(indexedLoadTarget({5}), "default");
+    ASSERT_EQ(report.status, "ok");
+    EXPECT_EQ(report.bound.valuations, 1);
+    EXPECT_EQ(report.bound.bits, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Monotonicity: widening the secret domain never shrinks the bound.
+// ---------------------------------------------------------------------
+
+TEST(Capacity, BoundMonotoneUnderDomainWidening)
+{
+    double previous = -1.0;
+    for (const auto &values :
+         {std::vector<std::int64_t>{0, 1},
+          std::vector<std::int64_t>{0, 1, 2, 3},
+          std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7}}) {
+        const CapacityReport report =
+            analyzeProgramCapacity(indexedLoadTarget(values), "default");
+        ASSERT_EQ(report.status, "ok");
+        EXPECT_GE(report.bound.bits, previous);
+        previous = report.bound.bits;
+    }
+    // 8 distinguishable line choices = exactly 3 bits per trial.
+    EXPECT_EQ(previous, 3.0);
+}
+
+// ---------------------------------------------------------------------
+// boundCapacity on raw footprints.
+// ---------------------------------------------------------------------
+
+TEST(Capacity, WideningIsolatesApproximateValuations)
+{
+    const MachineConfig config = machineConfigForProfile("default");
+    // Three identical exact footprints -> one class, 0 bits.
+    std::vector<CacheFootprint> fps(3);
+    for (CacheFootprint &fp : fps) {
+        fp.fillsExact = true;
+        fp.accessesExact = true;
+    }
+    CapacityBound bound = boundCapacity(fps, config);
+    EXPECT_EQ(bound.jointClasses, 1);
+    EXPECT_EQ(bound.bits, 0.0);
+    EXPECT_TRUE(bound.exact);
+
+    // Making one approximate isolates it: 2 classes, inexact bound.
+    fps[1].fillsExact = false;
+    fps[1].accessesExact = false;
+    bound = boundCapacity(fps, config);
+    EXPECT_EQ(bound.jointClasses, 2);
+    EXPECT_FALSE(bound.exact);
+}
+
+// ---------------------------------------------------------------------
+// Capacity driver determinism across worker counts.
+// ---------------------------------------------------------------------
+
+TEST(Capacity, DriverDeterministicAcrossJobs)
+{
+    AnalyzeOptions options;
+    options.all = true;
+    const auto render = [&](int jobs) {
+        options.jobs = jobs;
+        std::ostringstream os;
+        printCapacityJson(os, runCapacityAnalysis(options));
+        return os.str();
+    };
+    EXPECT_EQ(render(1), render(4));
+}
+
+} // namespace
+} // namespace hr

@@ -21,12 +21,14 @@ cd "$root"
 # Directories whose code runs inside trials/scenarios and therefore
 # must stay replay-safe. Core simulator internals (src/sim, src/cache,
 # src/core) legitimately touch the hierarchy: they implement it.
-scan_dirs="bench src/gadgets src/channel src/detect src/timer src/exp src/analysis tests"
+# examples/ ships copy-paste starting points, so it must model the
+# traced idiom too — a raw read there propagates into user code.
+scan_dirs="bench examples src/gadgets src/channel src/detect src/timer src/exp src/analysis tests"
 
 # Stateful reads that have traced Machine equivalents.
 pattern='hierarchy\(\)\.(contextStats|cacheMisses|probeLevel|peek)\('
 
-violations=$(grep -rnE "$pattern" $scan_dirs --include='*.cc' --include='*.hh' 2>/dev/null)
+violations=$(grep -rnE "$pattern" $scan_dirs --include='*.cc' --include='*.hh' --include='*.cpp' 2>/dev/null)
 
 if [ -n "$violations" ]; then
     echo "traced-read lint: raw hierarchy state reads in trial/scenario code:" >&2
