@@ -89,6 +89,12 @@ usage()
         "(repeatable)\n"
         "  --no-batch           disable lockstep trial batching "
         "(same output, slower)\n"
+        "  --no-group           disable the group-stepped batching "
+        "tier (same output)\n"
+        "  --no-lockstep        disable periodic-loop forwarding in "
+        "the core (same output, slower)\n"
+        "  --verbose            add execution diagnostics (batching "
+        "tier breakdown) to result metadata\n"
         "\n"
         "sweep options (plus the run options above):\n"
         "  --gadget=NAME        gadget to sweep (see `gadgets`)\n"
@@ -182,6 +188,15 @@ struct Cli
             } else if (arg == "--no-batch") {
                 cli.options.batch = false;
                 cli.seen.push_back("no-batch");
+            } else if (arg == "--no-group") {
+                cli.options.group = false;
+                cli.seen.push_back("no-group");
+            } else if (arg == "--no-lockstep") {
+                cli.options.lockstep = false;
+                cli.seen.push_back("no-lockstep");
+            } else if (arg == "--verbose") {
+                cli.options.verbose = true;
+                cli.seen.push_back("verbose");
             } else if (arg == "--no-validate") {
                 cli.validate = false;
                 cli.seen.push_back("no-validate");
@@ -331,11 +346,15 @@ rejectStray(const Cli &cli, const std::string &command)
                                        "list-programs"});
     } else if (command == "run") {
         allowed.insert(allowed.end(), {"all", "trials", "jobs", "seed",
-                                       "profile", "param", "no-batch"});
+                                       "profile", "param", "no-batch",
+                                       "no-group", "no-lockstep",
+                                       "verbose"});
     } else if (command == "sweep") {
         allowed.insert(allowed.end(), {"gadget", "channel", "grid",
                                        "trials", "jobs", "seed",
-                                       "profile", "param", "no-batch"});
+                                       "profile", "param", "no-batch",
+                                       "no-group", "no-lockstep",
+                                       "verbose"});
     } else if (command == "perf") {
         allowed.insert(allowed.end(), {"quick", "suite", "out",
                                        "baseline", "tolerance", "seed"});
@@ -421,6 +440,9 @@ cmdSweep(const Cli &cli)
     options.seed = cli.options.seed;
     options.params = cli.options.params;
     options.batch = cli.options.batch;
+    options.group = cli.options.group;
+    options.lockstep = cli.options.lockstep;
+    options.verbose = cli.options.verbose;
     for (const std::string &arg : cli.grid_args)
         options.grid.push_back(parseSweepAxis(arg));
     if (cli.options.format == Format::Table)

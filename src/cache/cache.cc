@@ -264,6 +264,33 @@ Cache::residentsOfSet(Addr addr) const
     return out;
 }
 
+std::uint64_t
+Cache::setSignature(int set) const
+{
+    std::uint64_t sig = 0xcbf29ce484222325ull;
+    auto mix = [&](std::uint64_t value) {
+        sig ^= value;
+        sig *= 0x100000001b3ull;
+    };
+    for (int w = 0; w < config_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        mix(line.valid ? line.tag + 1 : 0);
+    }
+    mix(policy_[static_cast<std::size_t>(set)]->stateSig());
+    return sig;
+}
+
+std::uint64_t
+Cache::policyRngDraws() const
+{
+    if (config_.policy != PolicyKind::Random)
+        return 0;
+    std::uint64_t draws = 0;
+    for (const auto &pol : policy_)
+        draws += pol->rngDraws();
+    return draws;
+}
+
 std::optional<Addr>
 Cache::evictionCandidate(Addr addr) const
 {

@@ -171,6 +171,29 @@ class Cache
     /** Addresses currently resident in the set holding addr. */
     std::vector<Addr> residentsOfSet(Addr addr) const;
 
+    /**
+     * Behavioral signature of one set: tags/valid bits of every way
+     * plus the replacement policy's canonical stateSig(). Equal
+     * signatures of the same set over time mean the set will answer
+     * all future probes and victim choices identically (see
+     * ReplacementPolicy::stateSig for the Random-policy caveat).
+     */
+    std::uint64_t setSignature(int set) const;
+
+    /** Total random values consumed by per-set policies (Random only). */
+    std::uint64_t policyRngDraws() const;
+
+    /** Add @p k times the difference of two stats observations. */
+    void
+    applyStatsDelta(const CacheStats &from, const CacheStats &to,
+                    std::uint64_t k)
+    {
+        stats_.hits += k * (to.hits - from.hits);
+        stats_.misses += k * (to.misses - from.misses);
+        stats_.fills += k * (to.fills - from.fills);
+        stats_.evictions += k * (to.evictions - from.evictions);
+    }
+
     /** Line address currently in the policy's victim way (if valid). */
     std::optional<Addr> evictionCandidate(Addr addr) const;
 

@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hh"
 
+#include <algorithm>
+
 #include "util/log.hh"
 
 namespace hr
@@ -259,13 +261,126 @@ Hierarchy::reseed(std::uint64_t mem_seed, std::uint64_t l1_seed,
     config_.l1.rngSeed = l1_seed;
     config_.l2.rngSeed = l2_seed;
     config_.l3.rngSeed = l3_seed;
-    rng_ = Rng(mem_seed);
+    rng_.reseed(mem_seed);
     for (std::size_t i = 0; i < ctxRngs_.size(); ++i)
-        ctxRngs_[i] = Rng(contextSeed(
+        ctxRngs_[i].reseed(contextSeed(
             mem_seed, static_cast<ContextId>(i + 1)));
     l1_.reseedPolicies(l1_seed);
     l2_.reseedPolicies(l2_seed);
     l3_.reseedPolicies(l3_seed);
+}
+
+std::uint64_t
+Hierarchy::rngDraws() const
+{
+    std::uint64_t draws = rng_.draws();
+    for (const Rng &rng : ctxRngs_)
+        draws += rng.draws();
+    return draws + l1_.policyRngDraws() + l2_.policyRngDraws() +
+           l3_.policyRngDraws();
+}
+
+namespace
+{
+
+/** Read-only view of a priority_queue's underlying container. */
+template <class Q>
+const typename Q::container_type &
+queueContainer(const Q &queue)
+{
+    struct Expose : Q
+    {
+        using Q::c;
+    };
+    return queue.*&Expose::c;
+}
+
+} // namespace
+
+std::uint64_t
+Hierarchy::inflightSignature(Cycle base) const
+{
+    std::uint64_t sig = 0xcbf29ce484222325ull;
+    auto mix = [&](std::uint64_t value) {
+        sig ^= value;
+        sig *= 0x100000001b3ull;
+    };
+    // Iterate in drain order (ready, seq) — the order fills will be
+    // applied in — so two states that drain differently cannot share a
+    // signature. An overdue fill (ready <= base) behaves identically
+    // however overdue it is: every reader saturates (applyFillsUpTo
+    // applies it, coalescing clamps to now + L1 latency, the wake path
+    // clamps to the next cycle), so its rel is canonicalized to zero
+    // rather than left drifting as the boundary advances past it.
+    std::vector<const Inflight *> order;
+    order.reserve(inflight_.size());
+    for (const auto &[line, fill] : inflight_)
+        order.push_back(&fill);
+    std::sort(order.begin(), order.end(),
+              [](const Inflight *a, const Inflight *b) {
+                  if (a->ready != b->ready)
+                      return a->ready < b->ready;
+                  return a->seq < b->seq;
+              });
+    for (const Inflight *fill : order) {
+        mix(fill->line);
+        mix(fill->ready > base
+                ? static_cast<std::uint64_t>(fill->ready - base)
+                : 0);
+        mix(nextSeq_ - fill->seq);
+        mix(static_cast<std::uint64_t>(fill->level));
+        mix(fill->ctx);
+    }
+    // Cancelled fill-queue leftovers still gate nextFillCycle(), so
+    // their presence must fail the steady-state match.
+    mix(queueContainer(fillQueue_).size() - inflight_.size());
+    return sig;
+}
+
+void
+Hierarchy::shiftInflight(Cycle delta)
+{
+    panicIf(queueContainer(fillQueue_).size() != inflight_.size(),
+            "Hierarchy::shiftInflight: cancelled fills pending");
+    while (!fillQueue_.empty())
+        fillQueue_.pop();
+    for (auto &[line, fill] : inflight_) {
+        (void)line;
+        fill.ready += delta;
+        fillQueue_.push(fill);
+    }
+}
+
+Hierarchy::CountersSample
+Hierarchy::sampleCounters() const
+{
+    CountersSample sample;
+    sample.l1 = l1_.stats();
+    sample.l2 = l2_.stats();
+    sample.l3 = l3_.stats();
+    sample.ctx = ctxStats_;
+    sample.memAccesses = memAccesses_;
+    sample.nextSeq = nextSeq_;
+    return sample;
+}
+
+void
+Hierarchy::applyCountersDelta(const CountersSample &from,
+                              const CountersSample &to, std::uint64_t k)
+{
+    l1_.applyStatsDelta(from.l1, to.l1, k);
+    l2_.applyStatsDelta(from.l2, to.l2, k);
+    l3_.applyStatsDelta(from.l3, to.l3, k);
+    for (std::size_t i = 0; i < ctxStats_.size(); ++i) {
+        const ContextAccessStats d = to.ctx[i] - from.ctx[i];
+        for (int lvl = 0; lvl < 3; ++lvl)
+            ctxStats_[i].hits[lvl] += k * d.hits[lvl];
+        ctxStats_[i].misses += k * d.misses;
+        ctxStats_[i].fills += k * d.fills;
+        ctxStats_[i].memAccesses += k * d.memAccesses;
+    }
+    memAccesses_ += k * (to.memAccesses - from.memAccesses);
+    nextSeq_ += k * (to.nextSeq - from.nextSeq);
 }
 
 void
@@ -273,9 +388,9 @@ Hierarchy::reseedContext(ContextId ctx, std::uint64_t seed)
 {
     panicIf(ctx >= ctxStats_.size(), "Hierarchy: context out of range");
     if (ctx == 0)
-        rng_ = Rng(seed);
+        rng_.reseed(seed);
     else
-        ctxRngs_[ctx - 1] = Rng(seed);
+        ctxRngs_[ctx - 1].reseed(seed);
 }
 
 } // namespace hr

@@ -244,6 +244,61 @@ class Hierarchy
         return base + 0x9e3779b97f4a7c15ull * ctx;
     }
 
+    /**
+     * Total random values consumed so far: every context's jitter
+     * stream plus every level's Random replacement streams. An
+     * unchanged total across a stretch of execution proves that
+     * stretch was randomness-free (so reseeding the streams in it
+     * would have been behaviorally dead, and a time-shifted repeat of
+     * it stays deterministic).
+     */
+    std::uint64_t rngDraws() const;
+
+    /**
+     * Canonical signature of the in-flight request set, with ready
+     * times taken relative to @p base and issue sequence numbers
+     * relative to the current allocator — equal signatures at two
+     * cycles b1 < b2 mean the pending fills are the same set shifted
+     * by (b2 - b1). Includes the count of cancelled entries still in
+     * the fill queue, so stale flushLine leftovers (which perturb
+     * nextFillCycle()) refuse the match instead of hiding.
+     */
+    std::uint64_t inflightSignature(Cycle base) const;
+
+    /**
+     * True while the fill queue holds entries cancelled by flushLine
+     * (they still perturb nextFillCycle(), so a fast-forward must
+     * refuse until they drain).
+     */
+    bool hasCancelledFills() const
+    {
+        return fillQueue_.size() != inflight_.size();
+    }
+
+    /**
+     * Shift every in-flight request and queued fill @p delta cycles
+     * into the future (lockstep fast-forward). Cancelled fill-queue
+     * leftovers must not exist (see inflightSignature); the queue is
+     * rebuilt from the live set.
+     */
+    void shiftInflight(Cycle delta);
+
+    /** Aggregate counters bundle for delta capture/extrapolation. */
+    struct CountersSample
+    {
+        CacheStats l1, l2, l3;
+        std::vector<ContextAccessStats> ctx;
+        std::uint64_t memAccesses = 0;
+        std::uint64_t nextSeq = 0;
+    };
+
+    /** Capture all monotone counters (cheap; no cache-array walk). */
+    CountersSample sampleCounters() const;
+
+    /** Add @p k times the per-field difference @p to - @p from. */
+    void applyCountersDelta(const CountersSample &from,
+                            const CountersSample &to, std::uint64_t k);
+
   private:
     HierarchyConfig config_;
     Cache l1_, l2_, l3_;

@@ -248,7 +248,7 @@ RandomPolicy::copyFrom(const ReplacementPolicy &other)
 bool
 RandomPolicy::reseed(std::uint64_t seed)
 {
-    rng_ = Rng(seed);
+    rng_.reseed(seed);
     return true;
 }
 
@@ -372,6 +372,86 @@ SrripPolicy::copyFrom(const ReplacementPolicy &other)
     const auto &o = sameKind<SrripPolicy>(*this, other);
     rrpv_ = o.rrpv_;
     filled_ = o.filled_;
+}
+
+// ------------------------------------------------- state signatures
+
+namespace
+{
+
+/** FNV-1a over a byte sequence fed 64 bits at a time. */
+std::uint64_t
+sigMix(std::uint64_t hash, std::uint64_t value)
+{
+    hash ^= value;
+    return hash * 0x100000001b3ull;
+}
+
+constexpr std::uint64_t kSigBasis = 0xcbf29ce484222325ull;
+
+} // namespace
+
+std::uint64_t
+TreePlruPolicy::stateSig() const
+{
+    std::uint64_t sig = kSigBasis;
+    for (std::uint8_t bit : bits_)
+        sig = sigMix(sig, bit);
+    return sig;
+}
+
+std::uint64_t
+LruPolicy::stateSig() const
+{
+    // Canonicalize the monotone stamps to dense ranks: victim() only
+    // compares stamps (min wins, lowest way breaks ties), so the rank
+    // vector — with ties mapped to the same rank — captures exactly
+    // the behaviorally relevant order while staying stable across a
+    // loop that re-touches the ways in the same sequence.
+    std::uint64_t sig = kSigBasis;
+    for (std::size_t i = 0; i < stamp_.size(); ++i) {
+        std::uint64_t rank = 0;
+        for (std::size_t j = 0; j < stamp_.size(); ++j)
+            if (stamp_[j] < stamp_[i])
+                ++rank;
+        sig = sigMix(sig, rank);
+    }
+    return sig;
+}
+
+std::uint64_t
+RandomPolicy::stateSig() const
+{
+    // Only meaningful when compared on the same instance over time:
+    // an unchanged draw count means the stream was never consumed, so
+    // its state (and therefore all future victim choices) is intact.
+    return sigMix(kSigBasis, rng_.draws());
+}
+
+std::uint64_t
+RandomPolicy::rngDraws() const
+{
+    return rng_.draws();
+}
+
+std::uint64_t
+NruPolicy::stateSig() const
+{
+    std::uint64_t sig = kSigBasis;
+    for (std::uint8_t bit : ref_)
+        sig = sigMix(sig, bit);
+    return sig;
+}
+
+std::uint64_t
+SrripPolicy::stateSig() const
+{
+    std::uint64_t sig = kSigBasis;
+    for (std::size_t i = 0; i < rrpv_.size(); ++i)
+        sig = sigMix(sig, static_cast<std::uint64_t>(rrpv_[i]) |
+                              (static_cast<std::uint64_t>(filled_[i])
+                               << 8));
+    return sig;
 }
 
 // ------------------------------------------------------------- factory

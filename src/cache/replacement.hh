@@ -82,6 +82,20 @@ class ReplacementPolicy
         return false;
     }
 
+    /**
+     * Canonical behavioral signature of the current replacement
+     * state: two observations of the *same instance* with equal
+     * signatures are guaranteed to make identical future
+     * touch/victim decisions. Representations that drift without
+     * behavioral effect (LRU's monotone stamps) are canonicalized
+     * (rank order), so a steady-state loop re-touching the same ways
+     * in the same order reports a stable signature.
+     */
+    virtual std::uint64_t stateSig() const = 0;
+
+    /** Random values consumed so far (only Random draws any). */
+    virtual std::uint64_t rngDraws() const { return 0; }
+
   protected:
     explicit ReplacementPolicy(int assoc) : assoc_(assoc) {}
 
@@ -107,6 +121,7 @@ class TreePlruPolicy : public ReplacementPolicy
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
     void copyFrom(const ReplacementPolicy &other) override;
+    std::uint64_t stateSig() const override;
 
     /** Direct bit access for tests and the pin-pattern search. */
     const std::vector<std::uint8_t> &bits() const { return bits_; }
@@ -128,6 +143,7 @@ class LruPolicy : public ReplacementPolicy
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
     void copyFrom(const ReplacementPolicy &other) override;
+    std::uint64_t stateSig() const override;
 
   private:
     std::vector<std::uint64_t> stamp_;
@@ -147,6 +163,8 @@ class RandomPolicy : public ReplacementPolicy
     std::unique_ptr<ReplacementPolicy> clone() const override;
     void copyFrom(const ReplacementPolicy &other) override;
     bool reseed(std::uint64_t seed) override;
+    std::uint64_t stateSig() const override;
+    std::uint64_t rngDraws() const override;
 
   private:
     Rng rng_;
@@ -164,6 +182,7 @@ class NruPolicy : public ReplacementPolicy
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
     void copyFrom(const ReplacementPolicy &other) override;
+    std::uint64_t stateSig() const override;
 
   private:
     std::vector<std::uint8_t> ref_;
@@ -181,6 +200,7 @@ class SrripPolicy : public ReplacementPolicy
     std::string stateString() const override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
     void copyFrom(const ReplacementPolicy &other) override;
+    std::uint64_t stateSig() const override;
 
   private:
     static constexpr std::uint8_t kMax = 3;

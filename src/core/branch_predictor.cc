@@ -16,6 +16,7 @@ BranchPredictor::update(std::uint64_t key, bool taken)
 {
     auto [it, inserted] = counters_.try_emplace(key, kInit);
     std::uint8_t &c = it->second;
+    const std::uint8_t before = c;
     if (taken) {
         if (c < 3)
             ++c;
@@ -23,6 +24,8 @@ BranchPredictor::update(std::uint64_t key, bool taken)
         if (c > 0)
             --c;
     }
+    if (inserted || c != before)
+        ++version_;
 }
 
 } // namespace hr

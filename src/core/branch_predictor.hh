@@ -55,9 +55,19 @@ class BranchPredictor
         return (program_id << 20) ^ static_cast<std::uint64_t>(pc);
     }
 
+    /**
+     * Monotone mutation version: bumped by update() only when the
+     * table observably changes (a counter moves or a key is first
+     * seen). An unchanged version across a stretch of execution proves
+     * the predictor was a fixed point over it — saturated counters
+     * re-trained with their own direction do not bump it.
+     */
+    std::uint64_t version() const { return version_; }
+
   private:
     static constexpr std::uint8_t kInit = 1; // weakly not-taken
     std::unordered_map<std::uint64_t, std::uint8_t> counters_;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace hr

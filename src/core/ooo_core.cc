@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/lockstep.hh"
 #include "util/log.hh"
 
 namespace hr
 {
+
+OooCore::~OooCore() = default;
+
+OooCore::LockstepSummary
+OooCore::lockstepSummary() const
+{
+    LockstepSummary s;
+    if (lockstep_) {
+        const LockstepEngine::Stats &stats = lockstep_->stats();
+        s.forwards = stats.forwards;
+        s.skippedPeriods = stats.skippedPeriods;
+        s.skippedCycles = stats.skippedCycles;
+        s.refusals = stats.refusals;
+    }
+    return s;
+}
 
 PerfCounters
 PerfCounters::operator-(const PerfCounters &o) const
@@ -391,6 +408,8 @@ OooCore::processCompletions()
         if (entry->inst->op == Opcode::Load && !entry->forwarded)
             entry->value = memory_.read(entry->ea);
         entry->status = Status::Completed;
+        if (lockstepRec_ && entry->inst->op == Opcode::Load)
+            lockstep_->recordLoadComplete(*entry);
         wakeConsumers(*entry);
         if (entry->inst->op == Opcode::Branch) {
             --ctxOf(*entry).inflightBranches;
@@ -418,6 +437,8 @@ OooCore::tryIssueMemOp(RobEntry &entry)
             return false;
         entry.value = entry.srcVal[2]; // store data travels in slot 2
         events_.push({*done, entry.seq, &entry});
+        if (lockstepRec_)
+            lockstep_->recordIssue(entry);
         ++counters_.issuedByClass[static_cast<int>(FuClass::MemWrite)];
         ++c.counters.issuedByClass[static_cast<int>(FuClass::MemWrite)];
         return true;
@@ -446,6 +467,8 @@ OooCore::tryIssueMemOp(RobEntry &entry)
             entry.forwarded = true;
             entry.value = forward_from->value;
             events_.push({cycle_ + 1, entry.seq, &entry});
+            if (lockstepRec_)
+                lockstep_->recordIssue(entry);
             ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
             ++c.counters.issuedByClass[static_cast<int>(FuClass::MemRead)];
             return true;
@@ -490,6 +513,10 @@ OooCore::tryIssueMemOp(RobEntry &entry)
     const Cycle done =
         op == Opcode::Prefetch ? cycle_ + 1 : outcome.readyCycle;
     events_.push({done, entry.seq, &entry});
+    if (lockstepRec_) {
+        lockstep_->recordIssue(entry);
+        lockstep_->recordAccess(entry.ea);
+    }
     ++counters_.issuedByClass[static_cast<int>(FuClass::MemRead)];
     ++c.counters.issuedByClass[static_cast<int>(FuClass::MemRead)];
     return true;
@@ -552,6 +579,8 @@ OooCore::issueStage()
             entry->status = Status::Issued;
             --iqOccupancy_;
             events_.push({*done, entry->seq, entry});
+            if (lockstepRec_)
+                lockstep_->recordIssue(*entry);
             ++counters_.issuedByClass[static_cast<int>(cls)];
             ++ctxOf(*entry).counters.issuedByClass[static_cast<int>(cls)];
             ++issued;
@@ -720,6 +749,8 @@ OooCore::commitStage()
                 break;
 
             const Instruction &inst = *head.inst;
+            if (lockstepRec_)
+                lockstep_->recordCommit(head);
             if (head.dop->writesDst) {
                 c.regfile[inst.dst] = head.value;
                 if (c.renameTable[inst.dst] == &head)
@@ -730,6 +761,8 @@ OooCore::commitStage()
                 memory_.write(head.ea, head.value);
                 hierarchy_.access(head.ea, cycle_, AccessKind::Store,
                                   head.ctx);
+                if (lockstepRec_)
+                    lockstep_->recordAccess(head.ea);
                 --c.inflightStores;
                 ++counters_.committedStores;
                 ++c.counters.committedStores;
@@ -742,6 +775,9 @@ OooCore::commitStage()
               case Opcode::Jump:
                 ++counters_.branches;
                 ++c.counters.branches;
+                if (lockstepWatch_ && inst.op == Opcode::Branch &&
+                    head.value != 0 && inst.target <= head.pc)
+                    lockstep_->onAnchor(head.pc);
                 break;
               case Opcode::Halt:
                 c.halted = true;
@@ -898,9 +934,20 @@ OooCore::runLoop(ContextId primary, Cycle max_cycles)
     const PerfCounters before = prim.counters;
     const Cycle deadline = cycle_ + max_cycles;
 
+    if (config_.lockstep && config_.interruptInterval == 0) {
+        if (!lockstep_)
+            lockstep_ = std::make_unique<LockstepEngine>(*this);
+        lockstep_->beginRun(primary, deadline);
+    } else {
+        lockstepWatch_ = false;
+        lockstepRec_ = false;
+    }
+
     for (;;) {
         if (draining_ && allRobsEmpty())
             serviceInterrupt();
+        if (lockstepRec_)
+            lockstep_->onLoopTop();
 
         bool work = false;
         work |= processCompletions();
@@ -961,6 +1008,8 @@ OooCore::runLoop(ContextId primary, Cycle max_cycles)
         fatalIf(cycle_ > deadline, "OooCore::run: cycle limit exceeded");
     }
 
+    if (lockstep_)
+        lockstep_->endRun();
     hierarchy_.applyFillsUpTo(cycle_);
     result.endCycle = cycle_;
     result.halted = prim.halted;

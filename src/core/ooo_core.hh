@@ -92,6 +92,20 @@ struct CoreConfig
     /** Cycles consumed servicing an interrupt after the drain. */
     Cycle interruptOverhead = 2000;
 
+    /**
+     * Lockstep steady-state fast-forward: when a single-context run
+     * settles into a provably periodic loop (same committed anchor
+     * branch, byte-equivalent pipeline state at consecutive loop tops
+     * modulo learned affine deltas, no randomness consumed), the
+     * remaining iterations are applied in closed form instead of being
+     * simulated cycle by cycle. Bit-identical to scalar execution by
+     * construction — the engine refuses whenever it cannot prove the
+     * extrapolation exact — so this is a pure speed knob and is
+     * deliberately EXCLUDED from machineConfigFingerprint (machines
+     * with either setting share pool snapshots and decode caches).
+     */
+    bool lockstep = true;
+
     int effectiveIqSize() const { return iqSize > 0 ? iqSize : robSize; }
 };
 
@@ -157,6 +171,7 @@ class OooCore
     OooCore(const CoreConfig &config, Hierarchy &hierarchy,
             MemoryImage &memory, BranchPredictor &predictor,
             int contexts = 1);
+    ~OooCore(); // out of line: LockstepEngine is incomplete here
 
     /**
      * The core state that persists across run() calls: global time,
@@ -197,6 +212,18 @@ class OooCore
 
     /** Cumulative counters attributed to one context. */
     const PerfCounters &contextCounters(ContextId ctx) const;
+
+    /** Lockstep fast-forward accounting, cumulative across runs. */
+    struct LockstepSummary
+    {
+        std::uint64_t forwards = 0;       ///< successful fast-forwards
+        std::uint64_t skippedPeriods = 0; ///< loop periods applied closed-form
+        std::uint64_t skippedCycles = 0;  ///< cycles applied closed-form
+        std::uint64_t refusals = 0;       ///< failed window verifications
+    };
+
+    /** All zeros until the first eligible run constructs the engine. */
+    LockstepSummary lockstepSummary() const;
 
     /**
      * Execute a decoded program to completion (Halt commit or natural
@@ -357,6 +384,19 @@ class OooCore
     /** Round-robin arbitration cursors (reset at each run start). */
     std::uint32_t dispatchRotate_ = 0;
     std::uint32_t commitRotate_ = 0;
+
+    /**
+     * Steady-state loop fast-forward engine (see core/lockstep.hh).
+     * Lazily constructed on the first eligible run; the two bools are
+     * the hot-path guards so disabled runs pay one branch per hook.
+     * lockstepWatch_: engine active this run (anchor detection on
+     * committed backward taken branches). lockstepRec_: an anchor is
+     * established and per-period records/boundary captures are live.
+     */
+    std::unique_ptr<class LockstepEngine> lockstep_;
+    bool lockstepWatch_ = false;
+    bool lockstepRec_ = false;
+    friend class LockstepEngine;
 
     // --- pipeline stages (each returns true if it did work) ---
     bool processCompletions();

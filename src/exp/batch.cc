@@ -1,11 +1,33 @@
 #include "exp/batch.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/log.hh"
 
 namespace hr
 {
+
+void
+BatchRunner::Stats::add(const Stats &other)
+{
+    trials += other.trials;
+    leaders += other.leaders;
+    replayed += other.replayed;
+    groupStepped += other.groupStepped;
+    diverged += other.diverged;
+    scalar += other.scalar;
+}
+
+std::string
+BatchRunner::Stats::summary() const
+{
+    std::ostringstream out;
+    out << "trials=" << trials << " leaders=" << leaders
+        << " replayed=" << replayed << " group-stepped=" << groupStepped
+        << " diverged=" << diverged << " scalar=" << scalar;
+    return out.str();
+}
 
 BatchRunner::BatchRunner(MachinePool &pool, Setup setup, Options options)
     : lease_(pool.lease()), options_(options)
@@ -46,6 +68,34 @@ BatchRunner::forEach(std::size_t count, const TrialFn &fn)
                 ++stats_.scalar;
                 ++stats_.trials;
             }
+        } else if (options_.group) {
+            // Group-stepped tier: lanes march down the leader's
+            // skeleton; the group picks substituted/strict replay or
+            // guided real execution per trace shape and peels truly
+            // divergent lanes to scalar (see sim/machine_group.hh).
+            group_.adopt(&trace, &base_);
+            for (std::size_t i = start + 1; i < end; ++i) {
+                const MachineGroup::Outcome outcome = group_.step(
+                    m, dirty_, [&](Machine &lane) { fn(lane, i); });
+                switch (outcome) {
+                  case MachineGroup::Outcome::Replayed:
+                    ++stats_.replayed;
+                    break;
+                  case MachineGroup::Outcome::Stepped:
+                    ++stats_.groupStepped;
+                    break;
+                  case MachineGroup::Outcome::Peeled:
+                    ++stats_.diverged;
+                    break;
+                  case MachineGroup::Outcome::Scalar:
+                    ++stats_.scalar;
+                    break;
+                }
+                ++stats_.trials;
+            }
+            // The trace dies with this loop iteration; detach so the
+            // group never holds a dangling skeleton.
+            group_.adopt(nullptr, nullptr);
         } else {
             // Followers: replay, falling back to scalar on divergence.
             // Clean replays never touch machine state, so they need no

@@ -36,8 +36,18 @@
  * follower pays a restore. That elision — not the replay itself — is
  * what pushes the batched trial path past 10x.
  *
- * Byte-identity with the scalar path at any batch width and worker
- * count is a tested invariant (tests/test_batch.cc), not a hope.
+ * Between verbatim replay and the scalar last resort sits the
+ * group-stepped tier (Options::group, on by default): followers a
+ * strict replay cannot serve — per-trial reseeds, noise-dependent
+ * traces — are marched down the leader's op skeleton by a
+ * MachineGroup, which picks dead-reseed substituted replay or guided
+ * real execution per group and peels truly divergent lanes off to
+ * scalar mid-group (see sim/machine_group.hh). The full decision
+ * ladder per follower is: verbatim replay → group step → scalar.
+ *
+ * Byte-identity with the scalar path at any batch width, worker
+ * count, and tier opt-out is a tested invariant (tests/test_batch.cc,
+ * tests/test_machine_group.cc), not a hope.
  */
 
 #ifndef HR_EXP_BATCH_HH
@@ -45,9 +55,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "exp/machine_pool.hh"
 #include "sim/machine.hh"
+#include "sim/machine_group.hh"
 
 namespace hr
 {
@@ -61,7 +73,7 @@ class BatchRunner
         // Constructor instead of a default member initializer: the
         // latter cannot feed BatchRunner's own default argument below
         // (the enclosing class is still incomplete there).
-        Options() : width(32) {}
+        Options() : width(32), group(true) {}
 
         /**
          * Trials per lockstep group. Each group pays one fully
@@ -70,6 +82,15 @@ class BatchRunner
          * less often.
          */
         int width;
+
+        /**
+         * Route followers through the group-stepped tier (substituted
+         * replay / guided execution; see sim/machine_group.hh). Off
+         * reproduces the strict verbatim-replay-or-diverge ladder
+         * (`hr_bench ... --no-group`). Output is byte-identical either
+         * way — this is a performance/observability knob.
+         */
+        bool group;
     };
 
     struct Stats
@@ -77,8 +98,16 @@ class BatchRunner
         std::uint64_t trials = 0;   //!< total trials executed
         std::uint64_t leaders = 0;  //!< trials simulated as leaders
         std::uint64_t replayed = 0; //!< followers answered from trace
+        std::uint64_t groupStepped = 0; //!< group tier: substituted
+                                        //!< replay or guided march
         std::uint64_t diverged = 0; //!< followers that fell back mid-trial
         std::uint64_t scalar = 0;   //!< followers of an opaque trace
+
+        /** Merge (for accumulating across runners/sweep rows). */
+        void add(const Stats &other);
+
+        /** One-line human rendering ("trials=... leaders=..."). */
+        std::string summary() const;
     };
 
     /** One-time machine preparation folded into the base snapshot. */
@@ -111,11 +140,15 @@ class BatchRunner
 
     const Stats &stats() const { return stats_; }
 
+    /** The group stepper (lane-level SoA bookkeeping; tests). */
+    const MachineGroup &group() const { return group_; }
+
   private:
     MachinePool::Lease lease_;
     Machine::Snapshot base_;
     Options options_;
     Stats stats_;
+    MachineGroup group_;
     bool dirty_ = false; //!< machine state differs from base_
 };
 

@@ -176,7 +176,8 @@ runPerfSuites(const PerfOptions &options)
         "snapshot_restore",  "trial_path_fresh",
         "trial_path_scalar", "trial_path_restore",
         "trial_path_speedup", "batch_speedup",
-        "batched_trial_path", "decode_cache_hit",
+        "batched_trial_path", "divergent_batch_path",
+        "group_step_rate",   "decode_cache_hit",
         "fig08_quick_wall",  "fig10_quick_wall",
         "channel_symbol_rate", "channel_frame_path",
         "sweep_points",       "analyze_capacity"};
@@ -393,6 +394,61 @@ runPerfSuites(const PerfOptions &options)
         suites.push_back(suite);
     }
 
+    if (wanted("divergent_batch_path")) {
+        note("divergent_batch_path");
+        // Every trial reseeds with a lane-distinct mix, so verbatim
+        // replay is impossible (the old middle tier peeled every
+        // follower to scalar here). The trace draws zero noise-stream
+        // samples on this profile, so the group tier's substituted
+        // replay keeps followers on the replay fast path anyway.
+        MachinePool pool(machineConfigForProfile("effective_window"));
+        BatchRunner batch(pool);
+        std::uint64_t mix = 0;
+        PerfSuite suite = measureRate(
+            "divergent_batch_path",
+            "racing trials per second with per-trial reseeds "
+            "(width 32; dead reseeds substituted in group replay)",
+            budget, [&]() {
+                batch.forEach(32, [&](Machine &machine, std::size_t i) {
+                    machine.reseedNoise(mix + i);
+                    racingObservation(machine);
+                });
+                mix += 32;
+                return 32;
+            });
+        suite.tolerance = kBatchTolerance;
+        suite.batching = batch.stats().summary();
+        suites.push_back(suite);
+    }
+
+    if (wanted("group_step_rate")) {
+        note("group_step_rate");
+        // Noisy profile + per-trial reseeds: the trace both draws
+        // randomness and reseeds, so substitution is unsound and
+        // verbatim replay diverges at the first mix. Guided group
+        // stepping executes every lane for real against the leader's
+        // op skeleton instead of falling all the way back to scalar
+        // snapshot/restore per trial.
+        MachinePool pool(machineConfigForProfile("noisy"));
+        BatchRunner batch(pool);
+        std::uint64_t mix = 1;
+        PerfSuite suite = measureRate(
+            "group_step_rate",
+            "racing trials per second on the noisy profile with "
+            "per-trial reseeds (width 32; guided group stepping)",
+            budget, [&]() {
+                batch.forEach(32, [&](Machine &machine, std::size_t i) {
+                    machine.reseedNoise(mix + i);
+                    racingObservation(machine);
+                });
+                mix += 32;
+                return 32;
+            });
+        suite.tolerance = kBatchTolerance;
+        suite.batching = batch.stats().summary();
+        suites.push_back(suite);
+    }
+
     if (wanted("decode_cache_hit")) {
         note("decode_cache_hit");
         Machine machine(machineConfigForProfile("default"));
@@ -544,6 +600,8 @@ renderPerfJson(const std::vector<PerfSuite> &suites, bool quick)
                (suite.normalize ? "true" : "false");
         if (suite.tolerance > 0)
             out += ", \"tolerance\": " + jsonNum(suite.tolerance);
+        if (!suite.batching.empty())
+            out += ", \"batching\": \"" + suite.batching + "\"";
         out += "}";
         out += i + 1 < suites.size() ? ",\n" : "\n";
     }

@@ -46,6 +46,15 @@ struct PerfSuite
      * most of the win erode silently.
      */
     double tolerance = 0;
+
+    /**
+     * Batching-tier breakdown (BatchRunner::Stats::summary()) for the
+     * suites that exercise the batch path; empty elsewhere. Recorded
+     * in BENCH_hr_perf.json so a routing regression (e.g. group-
+     * stepped trials silently falling back to scalar) is visible in
+     * the committed trajectory even when the rate still passes.
+     */
+    std::string batching;
 };
 
 /** Knobs for one perf run. */

@@ -30,7 +30,8 @@ ExperimentRunner::run(Scenario &scenario)
 
     ScenarioContext ctx(trials, options_.jobs, options_.seed, profile,
                         options_.params, options_.progress,
-                        options_.batch);
+                        options_.batch, options_.group,
+                        options_.lockstep);
 
     const auto start = std::chrono::steady_clock::now();
     ResultTable result = scenario.run(ctx);
@@ -43,6 +44,8 @@ ExperimentRunner::run(Scenario &scenario)
     result.addMeta("profile", profile);
     result.addMeta("trials", std::to_string(trials));
     result.addMeta("seed", std::to_string(options_.seed));
+    if (options_.verbose)
+        result.addMeta("batching", ctx.batchStats().summary());
     return result;
 }
 

@@ -14,8 +14,9 @@ namespace hr
 ScenarioContext::ScenarioContext(
     int trials, int jobs, std::uint64_t base_seed, std::string profile_name,
     ParamSet params, std::function<void(const std::string &)> progress,
-    bool batch)
-    : trials_(trials), jobs_(jobs), batch_(batch), baseSeed_(base_seed),
+    bool batch, bool group, bool lockstep)
+    : trials_(trials), jobs_(jobs), batch_(batch), group_(group),
+      lockstep_(lockstep), baseSeed_(base_seed),
       profileName_(std::move(profile_name)), params_(std::move(params)),
       progress_(std::move(progress))
 {
@@ -26,7 +27,12 @@ ScenarioContext::ScenarioContext(
 MachineConfig
 ScenarioContext::machineConfig() const
 {
-    return machineConfigForProfile(profileName_);
+    MachineConfig config = machineConfigForProfile(profileName_);
+    // The forwarding engine is a pure-speedup knob, deliberately
+    // outside machineConfigFingerprint: flipping it must not split
+    // DecodeCache sharing, only bypass the periodic-loop fast path.
+    config.core.lockstep = lockstep_;
+    return config;
 }
 
 MachineConfig

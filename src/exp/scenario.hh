@@ -45,7 +45,8 @@ class ScenarioContext
     ScenarioContext(int trials, int jobs, std::uint64_t base_seed,
                     std::string profile_name, ParamSet params,
                     std::function<void(const std::string &)> progress,
-                    bool batch = true);
+                    bool batch = true, bool group = true,
+                    bool lockstep = true);
 
     /** Requested trial/sample count (scenario default or --trials). */
     int trials() const { return trials_; }
@@ -124,6 +125,19 @@ class ScenarioContext
     /** Lockstep batching enabled (--no-batch turns it off). */
     bool batch() const { return batch_; }
 
+    /** Group-stepped batching tier enabled (--no-group opts out). */
+    bool group() const { return group_; }
+
+    /** Periodic-loop forwarding engine enabled (--no-lockstep). */
+    bool lockstep() const { return lockstep_; }
+
+    /**
+     * Accumulated BatchRunner statistics of every poolMap that took
+     * the batched path in this context (the `batching` column of
+     * `hr_bench run --verbose` and the perf JSON).
+     */
+    const BatchRunner::Stats &batchStats() const { return batchStats_; }
+
     /**
      * parallelMap over indices that each need a pooled machine in the
      * warmed base state: fn(index, rng, machine) with the machine
@@ -141,19 +155,37 @@ class ScenarioContext
     auto
     poolMap(MachinePool &pool, int count, Fn &&fn) const
     {
+        return poolMap(pool, count, BatchRunner::Options(),
+                       std::forward<Fn>(fn));
+    }
+
+    /**
+     * poolMap with explicit batching options — the sweep engine sizes
+     * lockstep groups to its grid rows this way (one leader per row,
+     * the row's other points as lanes). Options::group is further
+     * gated on the context's own group() flag so --no-group reaches
+     * every caller.
+     */
+    template <typename Fn>
+    auto
+    poolMap(MachinePool &pool, int count, BatchRunner::Options options,
+            Fn &&fn) const
+    {
         using T = std::invoke_result_t<Fn &, int, Rng &, Machine &>;
         static_assert(!std::is_same_v<T, bool>,
                       "poolMap body must not return bool");
         std::vector<T> out(
             static_cast<std::size_t>(count > 0 ? count : 0));
         if (batch_ && jobs_ <= 1) {
-            BatchRunner runner(pool);
+            options.group = options.group && group_;
+            BatchRunner runner(pool, {}, options);
             runner.forEach(
                 out.size(), [&](Machine &machine, std::size_t i) {
                     const int index = static_cast<int>(i);
                     Rng rng(indexSeed(index));
                     out[i] = fn(index, rng, machine);
                 });
+            batchStats_.add(runner.stats());
             return out;
         }
         forEachIndex(count, [&](int index) {
@@ -169,10 +201,13 @@ class ScenarioContext
     int trials_;
     int jobs_;
     bool batch_;
+    bool group_;
+    bool lockstep_;
     std::uint64_t baseSeed_;
     std::string profileName_;
     ParamSet params_;
     std::function<void(const std::string &)> progress_;
+    mutable BatchRunner::Stats batchStats_;
 
     /** Blocking index-parallel dispatch (exceptions propagate). */
     void forEachIndex(int count, const IndexBody &body) const;

@@ -137,6 +137,80 @@ gridKeySet(const std::vector<SweepAxis> &axes)
     return keys;
 }
 
+/**
+ * Per-grid-row work hoisted out of the point loop. With the last axis
+ * varying fastest, a "row" is one run of grid.points/lastN consecutive
+ * indices sharing every non-last axis value — so the merged ParamSet
+ * (fixed params overridden by the non-last axis values) and the
+ * axis-value vector are invariant per row, and rebuilding both per
+ * point was pure per-point overhead. A point only needs its row's
+ * copies plus one set() of the last axis key.
+ *
+ * Rows are also the sweep's lockstep unit: poolMap sizes batching
+ * groups to lastN, so each row gets one recorded leader and steps its
+ * remaining points as group lanes (see sim/machine_group.hh).
+ */
+struct SweepRows
+{
+    int lastN = 1; ///< points per row (= last axis values, or 1)
+    /** Per row: full axis-value vector of its first point. */
+    std::vector<std::vector<std::string>> axisValues;
+    /** Per row: fixed params overridden by the non-last axes. */
+    std::vector<ParamSet> params;
+
+    /**
+     * Materialize one point: the row's axis values and params with
+     * the last axis entry swapped in.
+     */
+    void
+    pointAt(int index, const std::vector<SweepAxis> &axes,
+            std::vector<std::string> &values_out,
+            ParamSet &params_out) const
+    {
+        const int row = index / lastN;
+        values_out = axisValues[static_cast<std::size_t>(row)];
+        params_out = params[static_cast<std::size_t>(row)];
+        if (!axes.empty()) {
+            const SweepAxis &last = axes.back();
+            const std::string &value = last.values[static_cast<
+                std::size_t>(index % lastN)];
+            values_out.back() = value;
+            params_out.set(last.key, value);
+        }
+    }
+};
+
+SweepRows
+hoistSweepRows(const Grid &grid, const std::vector<SweepAxis> &axes,
+               const ParamSet &fixed)
+{
+    SweepRows rows;
+    rows.lastN =
+        axes.empty() ? 1 : static_cast<int>(axes.back().values.size());
+    const int row_count = grid.points / rows.lastN;
+    rows.axisValues.reserve(static_cast<std::size_t>(row_count));
+    rows.params.reserve(static_cast<std::size_t>(row_count));
+    for (int r = 0; r < row_count; ++r) {
+        std::vector<std::string> values = grid.valuesAt(r * rows.lastN);
+        ParamSet point;
+        for (std::size_t a = 0; a + 1 < axes.size(); ++a)
+            point.set(axes[a].key, values[a]);
+        rows.params.push_back(fixed.overriddenBy(point));
+        rows.axisValues.push_back(std::move(values));
+    }
+    return rows;
+}
+
+/** Batching options sizing lockstep groups to grid rows. */
+BatchRunner::Options
+rowBatchOptions(const SweepOptions &options, const SweepRows &rows)
+{
+    BatchRunner::Options batch;
+    batch.width = rows.lastN > 0 ? rows.lastN : 1;
+    batch.group = options.group;
+    return batch;
+}
+
 } // namespace
 
 SweepAxis
@@ -193,11 +267,11 @@ runSweep(const SweepOptions &options)
 
     const Grid grid = expandGrid(options.grid);
     const int points = grid.points;
-    auto axis_values = [&](int index) { return grid.valuesAt(index); };
 
     ScenarioContext ctx(options.trials, options.jobs, options.seed,
                         options.profile, options.params,
-                        options.progress, options.batch);
+                        options.progress, options.batch, options.group,
+                        options.lockstep);
 
     // Grid points differ only in their RNG streams, so instead of
     // reconstructing a Machine per point (thousands of per-set
@@ -205,19 +279,23 @@ runSweep(const SweepOptions &options)
     // restored to the pristine base state and re-seeds the noise
     // streams — bit-identical to a fresh build with the same seeds.
     // At --jobs 1 the points go through the lockstep batched path
-    // (see ScenarioContext::poolMap); the per-point reseed diverges
-    // every follower, so batching never changes sweep output.
+    // (see ScenarioContext::poolMap) in groups sized to grid rows:
+    // the row's first point leads, the rest step as group lanes, with
+    // the per-point reseed substituted on deterministic profiles and
+    // truly divergent points peeling to scalar — output is always
+    // byte-identical to the lease-per-index path.
     const MachineConfig base_config = ctx.machineConfig();
     MachinePool machine_pool(base_config);
+    const SweepRows sweep_rows =
+        hoistSweepRows(grid, options.grid, options.params);
 
     const std::vector<SweepRow> rows = ctx.poolMap(
-        machine_pool, points, [&](int index, Rng &, Machine &machine) {
+        machine_pool, points, rowBatchOptions(options, sweep_rows),
+        [&](int index, Rng &, Machine &machine) {
             SweepRow row;
-            row.axisValues = axis_values(index);
-            ParamSet point;
-            for (std::size_t a = 0; a < options.grid.size(); ++a)
-                point.set(options.grid[a].key, row.axisValues[a]);
-            const ParamSet params = options.params.overriddenBy(point);
+            ParamSet params;
+            sweep_rows.pointAt(index, options.grid, row.axisValues,
+                               params);
             try {
                 // --seed drives each point's machine noise streams
                 // (latency jitter, random-replacement choices) while
@@ -284,6 +362,8 @@ runSweep(const SweepOptions &options)
     result.addMeta("seed", std::to_string(options.seed));
     if (!grid_spec.empty())
         result.addMeta("grid", grid_spec);
+    if (options.verbose)
+        result.addMeta("batching", ctx.batchStats().summary());
     result.addTable("", std::move(table));
     // A sweep where no point ran is a failure (exit nonzero in the
     // driver), not a quietly empty success.
@@ -314,8 +394,7 @@ runChannelSweep(const SweepOptions &options)
     const ChannelInfo &channel_info =
         ChannelRegistry::instance().resolve(options.channel);
     // Validate the profile up front (fatal with the known names).
-    const MachineConfig base_config =
-        machineConfigForProfile(options.profile);
+    machineConfigForProfile(options.profile);
 
     // Grid-axis and fixed keys validate against the channel's
     // documented keys (channel-level + the gadget's own) before
@@ -333,19 +412,22 @@ runChannelSweep(const SweepOptions &options)
 
     ScenarioContext ctx(options.trials, options.jobs, options.seed,
                         options.profile, options.params,
-                        options.progress, options.batch);
+                        options.progress, options.batch, options.group,
+                        options.lockstep);
 
+    const MachineConfig base_config = ctx.machineConfig();
     MachinePool machine_pool(base_config);
+    const SweepRows sweep_rows =
+        hoistSweepRows(grid, options.grid, options.params);
 
     const std::vector<ChannelSweepRow> rows = ctx.poolMap(
         machine_pool, grid.points,
+        rowBatchOptions(options, sweep_rows),
         [&](int index, Rng &rng, Machine &machine) {
             ChannelSweepRow row;
-            row.axisValues = grid.valuesAt(index);
-            ParamSet point;
-            for (std::size_t a = 0; a < options.grid.size(); ++a)
-                point.set(options.grid[a].key, row.axisValues[a]);
-            const ParamSet params = options.params.overriddenBy(point);
+            ParamSet params;
+            sweep_rows.pointAt(index, options.grid, row.axisValues,
+                               params);
             try {
                 ScenarioContext::reseedMachine(machine, base_config,
                                                ctx.indexSeed(index));
@@ -417,6 +499,8 @@ runChannelSweep(const SweepOptions &options)
     const std::string grid_spec = grid.spec();
     if (!grid_spec.empty())
         result.addMeta("grid", grid_spec);
+    if (options.verbose)
+        result.addMeta("batching", ctx.batchStats().summary());
     result.addTable("", std::move(table));
     bool any_ok = false;
     for (const ChannelSweepRow &row : rows)

@@ -60,6 +60,23 @@ struct SweepOptions
      */
     bool batch = true;
 
+    /**
+     * Group-stepped batching tier (sim/machine_group.hh): lockstep
+     * groups are sized to grid rows (one leader per row, the row's
+     * remaining points as lanes). Output is byte-identical either
+     * way. --no-group clears it.
+     */
+    bool group = true;
+
+    /**
+     * Periodic-loop forwarding engine in the simulated core; output is
+     * byte-identical either way. --no-lockstep clears it.
+     */
+    bool lockstep = true;
+
+    /** Stamp the batching-tier breakdown into result metadata. */
+    bool verbose = false;
+
     /** Progress sink (stderr in table mode; never stdout). */
     std::function<void(const std::string &)> progress;
 };

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 
 #include "util/log.hh"
 
@@ -199,6 +200,8 @@ Machine::snapshot()
 {
     if (replayTrace_)
         divergeReplayImpl();
+    if (guidedTrace_)
+        peelGuided();
     if (recording_)
         markOpaque();
     Snapshot snap;
@@ -214,6 +217,8 @@ Machine::restore(const Snapshot &snap)
 {
     if (replayTrace_)
         divergeReplayImpl();
+    if (guidedTrace_)
+        peelGuided();
     if (recording_)
         markOpaque();
     hierarchy_.restore(snap.hierarchy);
@@ -260,6 +265,9 @@ Machine::run(ContextId ctx, Program &program,
                          max_cycles);
 
     auto decoded = decodeCache_->acquire(program);
+    if (guidedTrace_)
+        guidedObserveRun(ctx, decoded.get(), initial_regs, max_cycles,
+                         nullptr);
     RunResult result =
         realRun(ctx, *decoded, program.id, initial_regs, max_cycles);
     if (recording_) {
@@ -347,6 +355,9 @@ Machine::coRun(ContextId ctx, Program &program,
         spec.extras.push_back(std::move(extra));
     }
 
+    if (guidedTrace_)
+        guidedObserveRun(spec.ctx, spec.decoded.get(), spec.initialRegs,
+                         spec.maxCycles, &spec.extras);
     RunResult result = realCoRun(spec);
     if (recording_) {
         TraceOp op;
@@ -501,6 +512,8 @@ Machine::setBackground(ContextId ctx, Program program)
             "MachineConfig::contexts)");
     if (replayTrace_)
         divergeReplayImpl();
+    if (guidedTrace_)
+        peelGuided();
     if (recording_)
         markOpaque();
     // The registered copy gets its own fresh (cold-predictor) id even
@@ -519,6 +532,8 @@ Machine::clearBackground(ContextId ctx)
 {
     if (replayTrace_)
         divergeReplayImpl();
+    if (guidedTrace_)
+        peelGuided();
     if (recording_)
         markOpaque();
     backgrounds_.erase(ctx);
@@ -529,6 +544,8 @@ Machine::clearBackgrounds()
 {
     if (replayTrace_)
         divergeReplayImpl();
+    if (guidedTrace_)
+        peelGuided();
     if (recording_)
         markOpaque();
     backgrounds_.clear();
@@ -547,6 +564,8 @@ Machine::poke(Addr addr, std::int64_t value)
         }
         divergeReplayImpl();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::Poke, addr, value, 0, 0);
     memory_.write(addr, value);
     if (recording_) {
         TraceOp op;
@@ -568,6 +587,8 @@ Machine::peek(Addr addr) const
         }
         divergeReplay();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::Peek, addr, 0, 0, 0);
     const std::int64_t value = memory_.read(addr);
     if (recording_) {
         TraceOp op;
@@ -590,6 +611,8 @@ Machine::flushLine(Addr addr)
         }
         divergeReplayImpl();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::FlushLine, addr, 0, 0, 0);
     hierarchy_.flushLine(addr);
     if (recording_) {
         TraceOp op;
@@ -610,6 +633,8 @@ Machine::flushAllCaches()
         }
         divergeReplayImpl();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::FlushAll, 0, 0, 0, 0);
     hierarchy_.flushAll();
     if (recording_) {
         TraceOp op;
@@ -629,6 +654,8 @@ Machine::warm(Addr addr, int upto_level)
         }
         divergeReplayImpl();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::Warm, addr, 0, upto_level, 0);
     hierarchy_.warm(addr, upto_level);
     if (recording_) {
         TraceOp op;
@@ -650,6 +677,8 @@ Machine::probeLevel(Addr addr) const
         }
         divergeReplay();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::ProbeLevel, addr, 0, 0, 0);
     const int level = hierarchy_.probeLevel(addr);
     if (recording_) {
         TraceOp op;
@@ -672,6 +701,8 @@ Machine::settle()
         }
         divergeReplayImpl();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::Settle, 0, 0, 0, 0);
     hierarchy_.drainAllFills();
     if (recording_) {
         TraceOp op;
@@ -691,6 +722,8 @@ Machine::now() const
         }
         divergeReplay();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::Now, 0, 0, 0, 0);
     const Cycle cycle = core_->cycle();
     if (recording_) {
         TraceOp op;
@@ -712,6 +745,9 @@ Machine::contextStats(ContextId ctx) const
         }
         divergeReplay();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::CtxStats, 0, 0,
+                      static_cast<int>(ctx), 0);
     const ContextAccessStats stats = hierarchy_.contextStats(ctx);
     if (recording_) {
         TraceOp op;
@@ -734,6 +770,8 @@ Machine::cacheMisses(int level) const
         }
         divergeReplay();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::CacheMisses, 0, 0, level, 0);
     std::uint64_t misses = 0;
     switch (level) {
       case 1:
@@ -767,8 +805,22 @@ Machine::reseedNoise(std::uint64_t mix)
             ++replayPos_;
             return;
         }
+        // Dead-reseed substitution (group-stepped tier): the trace
+        // consumed zero noise-stream draws, so no recorded result can
+        // depend on the seeds this reseed installs — a different mix
+        // is behaviorally inert and the replay stays exact. Remember
+        // the substitution so a later divergence re-materializes the
+        // prefix with THIS lane's mix, not the leader's.
+        if (op && replayTolerance_.substituteDeadReseeds &&
+            replayTrace_->rngDraws == 0) {
+            replaySubs_.emplace_back(replayPos_, mix);
+            ++replayPos_;
+            return;
+        }
         divergeReplayImpl();
     }
+    if (guidedTrace_)
+        guidedObserve(TraceOp::Kind::Reseed, 0, 0, 0, mix);
     applyReseed(mix);
     if (recording_) {
         TraceOp op;
@@ -792,9 +844,11 @@ Machine::applyReseed(std::uint64_t mix)
 void
 Machine::beginRecord(TrialTrace &trace)
 {
-    panicIf(recording_ != nullptr || replayTrace_ != nullptr,
+    panicIf(recording_ != nullptr || replayTrace_ != nullptr ||
+                guidedTrace_ != nullptr,
             "Machine::beginRecord: already tracing");
     recording_ = &trace;
+    recordDraws0_ = hierarchy_.rngDraws();
 }
 
 void
@@ -802,21 +856,34 @@ Machine::endRecord()
 {
     panicIf(recording_ == nullptr,
             "Machine::endRecord: not recording");
+    // Saturate rather than wrap: restore() rolls the hierarchy's draw
+    // counters back (and marks the trace opaque anyway), and a bogus
+    // huge count must never read as the zero that licenses dead-reseed
+    // substitution.
+    const std::uint64_t draws = hierarchy_.rngDraws();
+    recording_->rngDraws =
+        draws >= recordDraws0_
+            ? draws - recordDraws0_
+            : std::numeric_limits<std::uint64_t>::max();
     recording_ = nullptr;
 }
 
 void
-Machine::beginReplay(const TrialTrace &trace, const Snapshot &base)
+Machine::beginReplay(const TrialTrace &trace, const Snapshot &base,
+                     ReplayTolerance tolerance)
 {
-    panicIf(recording_ != nullptr || replayTrace_ != nullptr,
+    panicIf(recording_ != nullptr || replayTrace_ != nullptr ||
+                guidedTrace_ != nullptr,
             "Machine::beginReplay: already tracing");
     fatalIf(trace.opaque,
             "Machine::beginReplay: trace is opaque (the leader used "
             "snapshot/restore or changed backgrounds)");
     replayTrace_ = &trace;
     replayBase_ = &base;
+    replayTolerance_ = tolerance;
     replayPos_ = 0;
     replayDiverged_ = false;
+    replaySubs_.clear();
 }
 
 bool
@@ -830,10 +897,141 @@ Machine::endReplay()
             "Machine::endReplay: not replaying");
     replayTrace_ = nullptr;
     replayBase_ = nullptr;
+    lastReplayMatched_ = replayPos_;
     replayPos_ = 0;
+    lastReplaySubs_ = replaySubs_.size();
+    replaySubs_.clear();
     const bool clean = !replayDiverged_;
     replayDiverged_ = false;
     return clean;
+}
+
+void
+Machine::beginGuided(const TrialTrace &trace)
+{
+    panicIf(recording_ != nullptr || replayTrace_ != nullptr ||
+                guidedTrace_ != nullptr,
+            "Machine::beginGuided: already tracing");
+    fatalIf(trace.opaque,
+            "Machine::beginGuided: trace is opaque (the leader used "
+            "snapshot/restore or changed backgrounds)");
+    guidedTrace_ = &trace;
+    guidedPos_ = 0;
+    guidedPeeled_ = false;
+    guidedSubs_ = 0;
+}
+
+bool
+Machine::endGuided()
+{
+    // A peel already cleared guidedTrace_ mid-trial (state was real
+    // throughout, so there was nothing to re-materialize).
+    panicIf(guidedTrace_ == nullptr && !guidedPeeled_,
+            "Machine::endGuided: not guiding");
+    lastGuidedMatched_ = guidedPos_;
+    lastGuidedSubs_ = guidedSubs_;
+    guidedTrace_ = nullptr;
+    guidedPos_ = 0;
+    guidedSubs_ = 0;
+    const bool on_skeleton = !guidedPeeled_;
+    guidedPeeled_ = false;
+    return on_skeleton;
+}
+
+void
+Machine::peelGuided() const
+{
+    guidedTrace_ = nullptr;
+    guidedPeeled_ = true;
+}
+
+const TraceOp *
+Machine::guidedExpect(TraceOp::Kind kind) const
+{
+    if (guidedPos_ >= guidedTrace_->ops.size())
+        return nullptr;
+    const TraceOp &op = guidedTrace_->ops[guidedPos_];
+    return op.kind == kind ? &op : nullptr;
+}
+
+void
+Machine::guidedObserve(TraceOp::Kind kind, Addr addr,
+                       std::int64_t value, int level,
+                       std::uint64_t mix) const
+{
+    const TraceOp *op = guidedExpect(kind);
+    bool match = op != nullptr;
+    if (match) {
+        // Inputs only: guided results come from real execution and may
+        // legitimately differ from the leader's (the noise streams
+        // differ — that is why this lane is guided, not replayed). A
+        // result difference that matters surfaces as a later input
+        // mismatch, which peels.
+        switch (kind) {
+          case TraceOp::Kind::Poke:
+            match = op->addr == addr && op->value == value;
+            break;
+          case TraceOp::Kind::Peek:
+          case TraceOp::Kind::FlushLine:
+          case TraceOp::Kind::ProbeLevel:
+            match = op->addr == addr;
+            break;
+          case TraceOp::Kind::Warm:
+            match = op->addr == addr && op->level == level;
+            break;
+          case TraceOp::Kind::CtxStats:
+          case TraceOp::Kind::CacheMisses:
+            match = op->level == level;
+            break;
+          case TraceOp::Kind::Reseed:
+            if (op->mix != mix)
+                ++guidedSubs_;
+            break;
+          case TraceOp::Kind::FlushAll:
+          case TraceOp::Kind::Settle:
+          case TraceOp::Kind::Now:
+            break; // the kind is the whole comparison
+          case TraceOp::Kind::Run:
+            match = false; // Run ops go through guidedObserveRun
+            break;
+        }
+    }
+    if (!match) {
+        peelGuided();
+        return;
+    }
+    ++guidedPos_;
+}
+
+void
+Machine::guidedObserveRun(ContextId ctx, const DecodedProgram *decoded,
+                          const std::vector<std::pair<RegId,
+                                                      std::int64_t>>
+                              &initial_regs,
+                          Cycle max_cycles,
+                          const std::vector<TraceOp::Extra> *extras)
+    const
+{
+    const TraceOp *op = guidedExpect(TraceOp::Kind::Run);
+    bool match = op != nullptr;
+    if (match) {
+        const TraceOp::RunSpec &rec = op->run;
+        const std::size_t n_extras = extras ? extras->size() : 0;
+        match = rec.ctx == ctx && rec.maxCycles == max_cycles &&
+                rec.initialRegs == initial_regs &&
+                rec.extras.size() == n_extras &&
+                rec.decoded.get() == decoded;
+        for (std::size_t i = 0; match && i < n_extras; ++i) {
+            match = rec.extras[i].ctx == (*extras)[i].ctx &&
+                    rec.extras[i].decoded.get() ==
+                        (*extras)[i].decoded.get();
+        }
+    }
+    if (!match) {
+        peelGuided();
+        return;
+    }
+    ++guidedPos_;
 }
 
 void
@@ -867,19 +1065,34 @@ Machine::divergeReplayImpl()
     const TrialTrace &trace = *replayTrace_;
     const Snapshot &base = *replayBase_;
     const std::size_t prefix = replayPos_;
+    const auto subs = std::move(replaySubs_);
 
     // Leave replay mode before touching state so everything below —
     // and everything the trial does from here on — executes for real.
     replayTrace_ = nullptr;
     replayBase_ = nullptr;
     replayDiverged_ = true;
+    replaySubs_.clear();
 
     // Re-materialize: the trial logically executed the matched prefix
     // from the base state; do exactly that, for real. Determinism
     // makes the re-execution reproduce every recorded result.
     restore(base);
+    std::size_t next_sub = 0;
     for (std::size_t i = 0; i < prefix; ++i) {
         const TraceOp &op = trace.ops[i];
+        // A reseed the replay tolerated by substitution re-executes
+        // with the substituted (this trial's) mix, not the leader's:
+        // the prefix being re-materialized is THIS trial's logical
+        // history. (Being dead — zero draws before the divergence
+        // point — either mix reproduces the recorded results; the
+        // substituted one also leaves the post-divergence noise
+        // streams seeded the way this trial asked for.)
+        std::uint64_t reseed_mix = op.mix;
+        if (next_sub < subs.size() && subs[next_sub].first == i) {
+            reseed_mix = subs[next_sub].second;
+            ++next_sub;
+        }
         switch (op.kind) {
           case TraceOp::Kind::Run:
             realCoRun(op.run);
@@ -900,7 +1113,7 @@ Machine::divergeReplayImpl()
             hierarchy_.drainAllFills();
             break;
           case TraceOp::Kind::Reseed:
-            applyReseed(op.mix);
+            applyReseed(reseed_mix);
             break;
           case TraceOp::Kind::Peek:
           case TraceOp::Kind::ProbeLevel:

@@ -304,8 +304,31 @@ class Machine
      */
     void beginRecord(TrialTrace &trace);
 
-    /** Stop recording. */
+    /** Stop recording (stamps TrialTrace::rngDraws). */
     void endRecord();
+
+    /**
+     * What a replay may paper over beyond an exact op-for-op match.
+     * The group-stepped batching tier turns on dead-reseed
+     * substitution; the plain leader/follower tier replays strict.
+     */
+    struct ReplayTolerance
+    {
+        // Constructor instead of a default member initializer: the
+        // latter cannot feed beginReplay's default argument below
+        // (the enclosing class is still incomplete there).
+        ReplayTolerance() : substituteDeadReseeds(false) {}
+
+        /**
+         * Treat a reseedNoise whose mix differs from the recorded one
+         * as matching, provided the trace consumed zero noise-stream
+         * draws (TrialTrace::rngDraws == 0, making every reseed in it
+         * behaviorally dead). The substituted mixes are applied — in
+         * place of the recorded ones — if the replay later diverges
+         * and the prefix is re-materialized.
+         */
+        bool substituteDeadReseeds;
+    };
 
     /**
      * Start replaying against @p trace: as long as incoming operations
@@ -317,7 +340,8 @@ class Machine
      * noticing. @p base must be the state the trace was recorded from,
      * and both must outlive the replay.
      */
-    void beginReplay(const TrialTrace &trace, const Snapshot &base);
+    void beginReplay(const TrialTrace &trace, const Snapshot &base,
+                     ReplayTolerance tolerance = {});
 
     /**
      * Finish a replay. Returns true if every operation was served from
@@ -327,8 +351,51 @@ class Machine
      */
     bool endReplay();
 
+    /**
+     * Reseed substitutions the last finished replay tolerated (0 for
+     * a strict replay). A clean replay with substitutions was
+     * group-stepped, not answered verbatim — BatchRunner's stats
+     * distinguish the two.
+     */
+    std::size_t replaySubstitutions() const { return lastReplaySubs_; }
+
+    /**
+     * Ops the last finished replay matched: the whole trial for a
+     * clean replay, the re-materialized prefix for a diverged one.
+     */
+    std::size_t replayMatched() const { return lastReplayMatched_; }
+
+    /**
+     * Start guided execution against @p trace: every operation
+     * executes for real on this machine's current state (which the
+     * caller has restored to the trace's base), while being matched
+     * against the recorded op sequence on the side. Reseed mixes may
+     * substitute freely (the op still executes, with the lane's own
+     * mix). The first genuinely mismatched op peels the machine off
+     * the skeleton — at zero cost, since nothing was skipped — and the
+     * trial simply continues scalar. This is the group-stepped path
+     * for traces whose results DO depend on the noise seeds
+     * (TrialTrace::rngDraws > 0): the trial cannot be answered from
+     * the trace, but it can march down the same op skeleton and
+     * report, for free, whether it stayed on it.
+     */
+    void beginGuided(const TrialTrace &trace);
+
+    /**
+     * Finish guided execution. Returns true if the trial never peeled
+     * off the skeleton (every op it made matched, in order).
+     */
+    bool endGuided();
+
+    /** Ops matched before the last guided trial ended or peeled. */
+    std::size_t guidedMatched() const { return lastGuidedMatched_; }
+
+    /** Reseed-mix substitutions during the last guided trial. */
+    std::size_t guidedSubstitutions() const { return lastGuidedSubs_; }
+
     bool recording() const { return recording_ != nullptr; }
     bool replaying() const { return replayTrace_ != nullptr; }
+    bool guiding() const { return guidedTrace_ != nullptr; }
 
   private:
     MachineConfig config_;
@@ -350,10 +417,25 @@ class Machine
 
     // --- record/replay state (mutable: const reads are traced too) ---
     TrialTrace *recording_ = nullptr;
+    std::uint64_t recordDraws0_ = 0;
     const TrialTrace *replayTrace_ = nullptr;
     const Snapshot *replayBase_ = nullptr;
+    ReplayTolerance replayTolerance_;
     mutable std::size_t replayPos_ = 0;
     mutable bool replayDiverged_ = false;
+    /** (op index, substituted mix) pairs of the active replay. */
+    mutable std::vector<std::pair<std::size_t, std::uint64_t>>
+        replaySubs_;
+    std::size_t lastReplaySubs_ = 0;
+    std::size_t lastReplayMatched_ = 0;
+
+    // --- guided-execution state (see beginGuided) ---
+    mutable const TrialTrace *guidedTrace_ = nullptr;
+    mutable std::size_t guidedPos_ = 0;
+    mutable bool guidedPeeled_ = false;
+    mutable std::size_t guidedSubs_ = 0;
+    std::size_t lastGuidedMatched_ = 0;
+    std::size_t lastGuidedSubs_ = 0;
 
     // --- execution internals ---
     RunResult realRun(ContextId ctx, const DecodedProgram &decoded,
@@ -391,6 +473,39 @@ class Machine
 
     /** Next trace op if it matches @p kind, else diverge and null. */
     const TraceOp *replayExpect(TraceOp::Kind kind) const;
+
+    // --- guided-execution internals ---
+    /**
+     * Match one executed-for-real op against the skeleton: advance on
+     * a hit, peel quietly on a miss. Const for the same reason as
+     * divergeReplay: pure reads (peek/now/...) participate too, and
+     * peeling only flips bookkeeping — state is already real.
+     */
+    void guidedObserve(TraceOp::Kind kind, Addr addr, std::int64_t value,
+                       int level, std::uint64_t mix) const;
+
+    /**
+     * guidedObserve for run/coRun: compares context, decoded image
+     * (pointer equality — the shared DecodeCache content-aliases
+     * identical programs), initial regs, cycle budget, and co-runners.
+     * Program ids are NOT compared: a guided lane executes fresh
+     * programs under its own freshly-allocated ids, which are cold
+     * exactly like the leader's were, so the id value cannot reach
+     * simulated behaviour.
+     */
+    void guidedObserveRun(ContextId ctx, const DecodedProgram *decoded,
+                          const std::vector<std::pair<RegId,
+                                                      std::int64_t>>
+                              &initial_regs,
+                          Cycle max_cycles,
+                          const std::vector<TraceOp::Extra> *extras)
+        const;
+
+    /** The skeleton op the next real op should match, if any. */
+    const TraceOp *guidedExpect(TraceOp::Kind kind) const;
+
+    /** Stop matching against the skeleton (state is already real). */
+    void peelGuided() const;
 };
 
 } // namespace hr

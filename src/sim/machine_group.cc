@@ -1,0 +1,121 @@
+#include "sim/machine_group.hh"
+
+#include <limits>
+
+#include "util/log.hh"
+
+namespace hr
+{
+
+void
+MachineGroup::adopt(const TrialTrace *trace,
+                    const Machine::Snapshot *base)
+{
+    panicIf((trace == nullptr) != (base == nullptr),
+            "MachineGroup::adopt: trace and base must be adopted (and "
+            "detached) together");
+    fatalIf(trace != nullptr && trace->opaque,
+            "MachineGroup::adopt: opaque traces have no skeleton to "
+            "step against (route those followers scalar)");
+    trace_ = trace;
+    base_ = base;
+    traceReseeds_ = false;
+    if (trace_ != nullptr) {
+        for (const TraceOp &op : trace_->ops) {
+            if (op.kind == TraceOp::Kind::Reseed) {
+                traceReseeds_ = true;
+                break;
+            }
+        }
+    }
+    laneOutcome_.clear();
+    laneOps_.clear();
+    laneSubs_.clear();
+}
+
+MachineGroup::Outcome
+MachineGroup::record(Outcome outcome, std::size_t matched,
+                     std::size_t subs)
+{
+    constexpr std::uint32_t cap =
+        std::numeric_limits<std::uint32_t>::max();
+    laneOutcome_.push_back(static_cast<std::uint8_t>(outcome));
+    laneOps_.push_back(matched > cap
+                           ? cap
+                           : static_cast<std::uint32_t>(matched));
+    laneSubs_.push_back(subs > cap ? cap
+                                   : static_cast<std::uint32_t>(subs));
+    switch (outcome) {
+      case Outcome::Replayed:
+        ++stats_.replayed;
+        break;
+      case Outcome::Stepped:
+        ++stats_.stepped;
+        break;
+      case Outcome::Peeled:
+        ++stats_.peeled;
+        break;
+      case Outcome::Scalar:
+        ++stats_.scalar;
+        break;
+    }
+    stats_.substitutions += subs;
+    return outcome;
+}
+
+MachineGroup::Outcome
+MachineGroup::step(Machine &machine, bool &dirty, const Trial &trial)
+{
+    panicIf(trace_ == nullptr,
+            "MachineGroup::step: no skeleton adopted");
+
+    // Guided execution is reserved for the one shape replay cannot
+    // win: a noise-consuming trace WITH reseed ops, where per-lane
+    // mixes make first-reseed divergence certain and substitution
+    // unsound. Everything else replays — with dead-reseed tolerance
+    // when the zero-draw proof licenses it, strictly otherwise (the
+    // plain tier's verbatim win, e.g. noisy traces whose followers
+    // never reseed, stays exactly as fast as before).
+    const bool substitutable = trace_->rngDraws == 0;
+    if (substitutable || !traceReseeds_) {
+        // Substituted replay: zero noise draws prove every recorded
+        // result independent of the seeds, so reseeds with a lane-own
+        // mix substitute freely and the trace still answers the whole
+        // trial. A clean (possibly substituted) replay never touches
+        // machine state — dirty is left exactly as the strict-replay
+        // tier would leave it. A peel restored base and re-executed
+        // the prefix (with the lane's mixes), so state is real and
+        // dirty.
+        Machine::ReplayTolerance tolerance;
+        tolerance.substituteDeadReseeds = substitutable;
+        machine.beginReplay(*trace_, *base_, tolerance);
+        trial(machine);
+        const bool clean = machine.endReplay();
+        const std::size_t subs = machine.replaySubstitutions();
+        if (!clean) {
+            dirty = true;
+            return record(Outcome::Peeled, machine.replayMatched(),
+                          subs);
+        }
+        return record(subs == 0 ? Outcome::Replayed : Outcome::Stepped,
+                      machine.replayMatched(), subs);
+    }
+
+    // Guided real execution: the trace's results depend on the noise
+    // seeds, so nothing can be answered from it. The lane executes
+    // scalar — through the very same code path a plain scalar trial
+    // takes — while marching down the leader's op skeleton on the
+    // side. Whether it stayed on the skeleton is free information;
+    // peeling costs nothing because nothing was skipped.
+    if (dirty)
+        machine.restore(*base_);
+    dirty = true;
+    machine.beginGuided(*trace_);
+    trial(machine);
+    const bool on_skeleton = machine.endGuided();
+    return record(on_skeleton ? Outcome::Stepped : Outcome::Peeled,
+                  machine.guidedMatched(),
+                  machine.guidedSubstitutions());
+}
+
+} // namespace hr

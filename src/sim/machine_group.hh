@@ -1,0 +1,154 @@
+/**
+ * @file
+ * MachineGroup: structure-of-arrays lockstep stepper for the trials a
+ * plain trace replay cannot serve.
+ *
+ * BatchRunner's record/replay tier answers a follower trial from the
+ * leader's TrialTrace only when the follower's op stream matches the
+ * trace *verbatim*. Two common, cheap-to-classify mismatches defeat it
+ * wholesale:
+ *
+ *  1. Per-trial reseeds. Decorrelation scenarios call
+ *     Machine::reseedNoise with a per-trial mix before every trial, so
+ *     every follower "diverges" at the very first op — even on fully
+ *     deterministic profiles where the reseed is behaviorally dead
+ *     (no jitter, no random replacement: the noise streams are never
+ *     read). The group stepper replays these with dead-reseed
+ *     substitution: TrialTrace::rngDraws == 0 proves no recorded
+ *     result can depend on the seeds, so the lane's own mix is
+ *     accepted in place of the leader's and the replay stays exact.
+ *
+ *  2. Genuinely noisy reseeding lanes. When the trace consumed noise
+ *     draws AND contains reseed ops, per-trial mixes guarantee every
+ *     follower diverges at its first reseed — and no substitution is
+ *     sound, because the recorded results depend on the seeds. Those
+ *     lanes run *guided*: every op executes for real through the
+ *     normal scalar machinery (same DecodeCache, same id allocation —
+ *     the execution IS the scalar execution), while being matched
+ *     against the leader's op skeleton on the side. A lane whose op
+ *     sequence truly diverges peels off to scalar mid-group at zero
+ *     cost: nothing was skipped, so there is no prefix to
+ *     re-materialize — unlike a replay divergence, which pays restore
+ *     + prefix re-execution.
+ *
+ * A noisy trace with NO reseed ops keeps the strict verbatim replay
+ * of the plain tier (the existing clean-replay win: determinism makes
+ * a verbatim replay sound regardless of what the results depended on,
+ * since the RNG streams are part of the base state). The group never
+ * makes that case slower.
+ *
+ * All lanes of a group share one physical machine and one DecodeCache
+ * image of the leader's programs; the "lanes" are the logical trials
+ * multiplexed through it in lockstep with the skeleton. The group's
+ * hot per-lane state is kept structure-of-arrays (parallel outcome /
+ * matched-op / substitution vectors, one slot per lane) so batch-level
+ * classification scans touch dense homogeneous arrays rather than
+ * per-lane objects.
+ *
+ * Byte-identity with the scalar restore-per-trial loop at any width is
+ * a tested invariant (tests/test_machine_group.cc): substituted
+ * replays only ever substitute provably-dead reseeds, and guided lanes
+ * are real execution by construction.
+ */
+
+#ifndef HR_SIM_MACHINE_GROUP_HH
+#define HR_SIM_MACHINE_GROUP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/trial_trace.hh"
+
+namespace hr
+{
+
+/** Lockstep group stepper over one leader skeleton (see file doc). */
+class MachineGroup
+{
+  public:
+    /** How one lane's trial was served. */
+    enum class Outcome : std::uint8_t
+    {
+        Replayed, ///< verbatim from the trace (no substitutions)
+        Stepped,  ///< lockstep: substituted replay or full guided march
+        Peeled,   ///< left the skeleton mid-trial, finished scalar
+        Scalar,   ///< group disabled/skeleton-less: plain scalar trial
+    };
+
+    struct Stats
+    {
+        std::uint64_t replayed = 0;
+        std::uint64_t stepped = 0;
+        std::uint64_t peeled = 0;
+        std::uint64_t scalar = 0;
+        std::uint64_t substitutions = 0; ///< dead reseeds substituted
+    };
+
+    /** One lane's trial body (the machine is the lane's world). */
+    using Trial = std::function<void(Machine &)>;
+
+    /**
+     * Adopt a leader skeleton: subsequent step() calls march lanes
+     * down @p trace, with @p base as the state it was recorded from.
+     * Resets the per-lane SoA bookkeeping (a new group begins); the
+     * caller keeps both alive until the next adopt. Pass nullptrs to
+     * detach when the skeleton's storage is about to die.
+     */
+    void adopt(const TrialTrace *trace, const Machine::Snapshot *base);
+
+    /**
+     * Step one lane: run @p trial on @p machine against the adopted
+     * skeleton, choosing substituted replay (trace consumed zero noise
+     * draws) or guided real execution (it did not). @p dirty is the
+     * caller's machine-state-differs-from-base flag, updated the same
+     * way the scalar loop would: substituted replays never touch state
+     * and leave it alone; guided lanes restore first when needed and
+     * always leave it set; a peeled replay leaves it set. Appends one
+     * SoA lane slot and returns its outcome.
+     */
+    Outcome step(Machine &machine, bool &dirty, const Trial &trial);
+
+    /** Whether a skeleton is currently adopted. */
+    bool adopted() const { return trace_ != nullptr; }
+
+    /** Lifetime outcome counters (across all adopted groups). */
+    const Stats &stats() const { return stats_; }
+
+    // ---- SoA lane bookkeeping of the current group -----------------
+    std::size_t lanes() const { return laneOutcome_.size(); }
+    Outcome laneOutcome(std::size_t lane) const
+    {
+        return static_cast<Outcome>(laneOutcome_[lane]);
+    }
+    /** Skeleton ops the lane matched before finishing or peeling. */
+    std::uint32_t laneMatchedOps(std::size_t lane) const
+    {
+        return laneOps_[lane];
+    }
+    /** Reseed-mix substitutions the lane's trial was served with. */
+    std::uint32_t laneSubstitutions(std::size_t lane) const
+    {
+        return laneSubs_[lane];
+    }
+
+  private:
+    const TrialTrace *trace_ = nullptr;
+    const Machine::Snapshot *base_ = nullptr;
+    bool traceReseeds_ = false; ///< skeleton contains Reseed ops
+    Stats stats_;
+
+    // Structure-of-arrays per-lane state: parallel vectors, one slot
+    // per stepped lane of the current group.
+    std::vector<std::uint8_t> laneOutcome_;
+    std::vector<std::uint32_t> laneOps_;
+    std::vector<std::uint32_t> laneSubs_;
+
+    Outcome record(Outcome outcome, std::size_t matched,
+                   std::size_t subs);
+};
+
+} // namespace hr
+
+#endif // HR_SIM_MACHINE_GROUP_HH

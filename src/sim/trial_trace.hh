@@ -99,6 +99,17 @@ struct TrialTrace
      * followers must run scalar.
      */
     bool opaque = false;
+
+    /**
+     * Machine noise-stream (jitter + replacement) RNG values the
+     * leader consumed while recording. Zero is a proof that every
+     * recorded result is independent of the noise seeds: no stream was
+     * ever read, so a reseedNoise with a *different* mix is
+     * behaviorally dead and a follower differing only in reseed mixes
+     * can still be answered from the trace (the dead-reseed fast path
+     * of the group-stepped batching tier; see sim/machine_group.hh).
+     */
+    std::uint64_t rngDraws = 0;
 };
 
 } // namespace hr

@@ -33,9 +33,18 @@ Rng::Rng(std::uint64_t seed)
         s = splitmix64(x);
 }
 
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
 std::uint64_t
 Rng::next()
 {
+    ++draws_;
     const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
     const std::uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];

@@ -27,6 +27,14 @@ class Rng
     /** Construct from a 64-bit seed (expanded via splitmix64). */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+    /**
+     * Reset the stream as if freshly constructed from @p seed, but
+     * keep the draws() counter monotone — so draw accounting stays
+     * valid across the reseed points the simulator's noise streams go
+     * through between trials.
+     */
+    void reseed(std::uint64_t seed);
+
     /** Next raw 64-bit value. */
     std::uint64_t next();
 
@@ -56,8 +64,18 @@ class Rng
     /** Derive an independent child stream (useful per-component). */
     Rng split();
 
+    /**
+     * Values drawn since construction. Consumers that must prove a
+     * stretch of execution never consumed randomness (lockstep
+     * fast-forward, dead-reseed replay) compare this before/after: an
+     * unchanged count means the stream state is untouched, so any
+     * reseed of it was behaviorally dead.
+     */
+    std::uint64_t draws() const { return draws_; }
+
   private:
     std::uint64_t s_[4];
+    std::uint64_t draws_ = 0;
 };
 
 } // namespace hr
