@@ -20,11 +20,9 @@ namespace
  * scenario's many single-shot trials cheap.
  */
 bool
-exprOutlastsBaseline(MachinePool &pool, Opcode target_op,
-                     int target_ops, Opcode ref_op, int ref_ops)
+exprOutlastsBaselineOn(Machine &machine, Opcode target_op,
+                       int target_ops, Opcode ref_op, int ref_ops)
 {
-    auto lease = pool.lease();
-    Machine &machine = lease.machine();
     ParamSet params;
     params.set("op", opcodeName(target_op));
     params.set("slow_ops", std::to_string(target_ops));
@@ -34,6 +32,16 @@ exprOutlastsBaseline(MachinePool &pool, Opcode target_op,
     // secret=true samples the slow_ops expression; the bit is the
     // transient probe's presence, i.e. "expression lost the race".
     return race->sample(machine, true).bit;
+}
+
+/** As above, but leasing a pristine machine from the pool. */
+bool
+exprOutlastsBaseline(MachinePool &pool, Opcode target_op,
+                     int target_ops, Opcode ref_op, int ref_ops)
+{
+    auto lease = pool.lease();
+    return exprOutlastsBaselineOn(lease.machine(), target_op,
+                                  target_ops, ref_op, ref_ops);
 }
 
 /**
@@ -134,10 +142,13 @@ class Fig08GranularityAdd : public Scenario
         if (!ctx.quick()) {
             // The ROB cap: a very slow expression cannot be out-raced
             // once the baseline no longer fits the transient window.
-            const std::vector<char> lost = ctx.parallelMap(
-                31, [&](int i, Rng &) -> char {
-                    return exprOutlastsBaseline(pool, Opcode::Add, 500,
-                                                Opcode::Add, 40 + i)
+            // Pooled so single-worker runs take the batched SPMD tier
+            // (results are identical to lease-per-index at any --jobs).
+            const std::vector<char> lost = ctx.poolMap(
+                pool, 31, [&](int i, Rng &, Machine &machine) -> char {
+                    return exprOutlastsBaselineOn(machine, Opcode::Add,
+                                                  500, Opcode::Add,
+                                                  40 + i)
                                ? 0
                                : 1;
                 });

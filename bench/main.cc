@@ -21,6 +21,15 @@
  *                    [--no-validate] [--param key=value]
  *                    [--format=table|json]
  *   hr_bench analyze --list-programs
+ *   hr_bench trace <scenario>... [--trace=FILE] [run options]
+ *   hr_bench metrics [<scenario>...] [--logical] [run options]
+ *
+ * Observability (see src/obs/): `--trace=FILE` records a Chrome
+ * trace-event / Perfetto JSON flight recording on run, sweep,
+ * analyze, trace, and metrics; `--progress=stderr|FILE` streams
+ * JSON-lines run telemetry; `--log-level=L` (or HR_LOG_LEVEL) gates
+ * stderr diagnostics. All of it is off by default and the default
+ * outputs stay byte-identical.
  *
  * Scenario names resolve by exact match or unique prefix (`run fig04`),
  * and gadget/channel names likewise (`sweep --gadget=arith`). Exit
@@ -46,6 +55,10 @@
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
 #include "gadgets/gadget_registry.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 #include "sim/profiles.hh"
 #include "util/log.hh"
 
@@ -77,6 +90,20 @@ usage()
         "channels, or demo programs\n"
         "  analyze --all        analyze every gadget, channel, and "
         "demo program\n"
+        "  trace <scenario>...  run scenarios with the flight "
+        "recorder on (trace.json unless --trace=FILE)\n"
+        "  metrics [scenario].. run scenarios (if named), then print "
+        "the metrics snapshot\n"
+        "\n"
+        "observability options (any command):\n"
+        "  --trace=FILE         record a Chrome/Perfetto trace of "
+        "this run to FILE (run/sweep/analyze/trace/metrics)\n"
+        "  --progress=DEST      stream JSON-lines progress telemetry "
+        "to `stderr` or a file\n"
+        "  --log-level=L        error, warn, info (default), or "
+        "debug; also env HR_LOG_LEVEL\n"
+        "  --logical            metrics: print only the logical "
+        "(jobs-invariant) metric class\n"
         "\n"
         "run options:\n"
         "  --trials=N           override the scenario's sample count\n"
@@ -152,6 +179,10 @@ struct Cli
     bool validate = true;
     bool capacity = false;
     bool list_programs = false;
+    std::string trace_file;    ///< --trace=FILE (empty = no tracing)
+    std::string progress_dest; ///< --progress=stderr|FILE
+    std::string log_level;     ///< --log-level=NAME
+    bool logical = false;      ///< metrics: logical class only
     std::vector<std::string> seen; ///< flag names given, for rejectStray
 
     static Cli
@@ -255,6 +286,22 @@ struct Cli
             } else if (matches("param")) {
                 cli.options.params.setFromArg(value("param"));
                 cli.seen.push_back("param");
+            } else if (matches("trace")) {
+                cli.trace_file = value("trace");
+                fatalIf(cli.trace_file.empty(),
+                        "--trace needs a file name");
+                cli.seen.push_back("trace");
+            } else if (matches("progress")) {
+                cli.progress_dest = value("progress");
+                fatalIf(cli.progress_dest.empty(),
+                        "--progress needs `stderr` or a file name");
+                cli.seen.push_back("progress");
+            } else if (matches("log-level")) {
+                cli.log_level = value("log-level");
+                cli.seen.push_back("log-level");
+            } else if (arg == "--logical") {
+                cli.logical = true;
+                cli.seen.push_back("logical");
             } else if (arg.rfind("--", 0) == 0) {
                 fatal("unknown option '" + arg + "'");
             } else {
@@ -336,25 +383,31 @@ void
 rejectStray(const Cli &cli, const std::string &command)
 {
     if (command != "run" && command != "analyze" &&
+        command != "trace" && command != "metrics" &&
         !cli.positional.empty())
         fatal(command + ": unexpected operand '" +
               cli.positional.front() + "'");
-    std::vector<std::string> allowed = {"format"};
+    // --log-level applies everywhere; it only gates stderr diagnostics.
+    std::vector<std::string> allowed = {"format", "log-level"};
     if (command == "analyze") {
         allowed.insert(allowed.end(), {"all", "jobs", "profile", "param",
                                        "no-validate", "capacity",
-                                       "list-programs"});
-    } else if (command == "run") {
+                                       "list-programs", "trace",
+                                       "progress"});
+    } else if (command == "run" || command == "trace" ||
+               command == "metrics") {
         allowed.insert(allowed.end(), {"all", "trials", "jobs", "seed",
                                        "profile", "param", "no-batch",
                                        "no-group", "no-lockstep",
-                                       "verbose"});
+                                       "verbose", "trace", "progress"});
+        if (command == "metrics")
+            allowed.push_back("logical");
     } else if (command == "sweep") {
         allowed.insert(allowed.end(), {"gadget", "channel", "grid",
                                        "trials", "jobs", "seed",
                                        "profile", "param", "no-batch",
                                        "no-group", "no-lockstep",
-                                       "verbose"});
+                                       "verbose", "trace", "progress"});
     } else if (command == "perf") {
         allowed.insert(allowed.end(), {"quick", "suite", "out",
                                        "baseline", "tolerance", "seed"});
@@ -447,7 +500,7 @@ cmdSweep(const Cli &cli)
         options.grid.push_back(parseSweepAxis(arg));
     if (cli.options.format == Format::Table)
         options.progress = [](const std::string &text) {
-            std::fprintf(stderr, "  .. %s\n", text.c_str());
+            HR_LOG(info, "  .. %s\n", text.c_str());
         };
     ResultTable result = options.channel.empty()
                              ? runSweep(options)
@@ -465,7 +518,7 @@ cmdPerf(const Cli &cli)
     options.only = cli.suites;
     if (cli.options.format == Format::Table)
         options.progress = [](const std::string &text) {
-            std::fprintf(stderr, "  .. %s\n", text.c_str());
+            HR_LOG(info, "  .. %s\n", text.c_str());
         };
 
     const std::vector<PerfSuite> suites = runPerfSuites(options);
@@ -491,8 +544,7 @@ cmdPerf(const Cli &cli)
     fatalIf(file == nullptr, "perf: cannot write '" + cli.out + "'");
     std::fputs(json.c_str(), file);
     std::fclose(file);
-    std::fprintf(stderr, "[perf trajectory written to %s]\n",
-                 cli.out.c_str());
+    HR_LOG(info, "[perf trajectory written to %s]\n", cli.out.c_str());
 
     if (cli.baseline.empty())
         return 0;
@@ -596,7 +648,7 @@ cmdRun(Cli cli)
     const bool table_mode = cli.options.format == Format::Table;
     if (table_mode)
         cli.options.progress = [](const std::string &text) {
-            std::fprintf(stderr, "  .. %s\n", text.c_str());
+            HR_LOG(info, "  .. %s\n", text.c_str());
         };
 
     ExperimentRunner runner(cli.options);
@@ -609,12 +661,91 @@ cmdRun(Cli cli)
         ResultTable result = runner.run(*scenario);
         std::fputs(result.render(cli.options.format).c_str(), stdout);
         if (table_mode)
-            std::fprintf(stderr, "[%s: %.2f s wall, %d jobs]\n",
-                         scenario->name().c_str(),
-                         runner.lastWallSeconds(), cli.options.jobs);
+            HR_LOG(info, "[%s: %.2f s wall, %d jobs]\n",
+                   scenario->name().c_str(), runner.lastWallSeconds(),
+                   cli.options.jobs);
         all_passed &= result.passed();
     }
     return all_passed ? 0 : 1;
+}
+
+/**
+ * `hr_bench metrics [scenario]...`: optionally run scenarios (their
+ * rendered results are suppressed — this command's stdout is the
+ * metrics snapshot only), then print the registry, name-sorted.
+ * --logical restricts to the jobs-invariant metric class, which is
+ * what CI diffs across --jobs values.
+ */
+int
+cmdMetrics(const Cli &cli)
+{
+    std::vector<Scenario *> selected;
+    if (cli.run_all) {
+        selected = ScenarioRegistry::instance().all();
+    } else {
+        for (const std::string &name : cli.positional)
+            selected.push_back(
+                &ScenarioRegistry::instance().resolve(name));
+    }
+
+    bool all_passed = true;
+    ExperimentRunner runner(cli.options);
+    for (Scenario *scenario : selected) {
+        HR_LOG(info, "  .. %s\n", scenario->name().c_str());
+        all_passed &= runner.run(*scenario).passed();
+    }
+
+    const std::vector<MetricSample> rows =
+        metrics().snapshot(cli.logical);
+    if (cli.options.format == Format::Table) {
+        Table table({"metric", "kind", "class", "value", "sum"});
+        for (const MetricSample &row : rows)
+            table.addRow({row.name, row.kind,
+                          row.logical ? "logical" : "runtime",
+                          Table::integer(
+                              static_cast<long long>(row.value)),
+                          row.kind == "histogram"
+                              ? Table::integer(
+                                    static_cast<long long>(row.sum))
+                              : std::string("-")});
+        table.print();
+    } else {
+        std::fputs((renderMetricsJson(rows) + "\n").c_str(), stdout);
+    }
+    return all_passed ? 0 : 1;
+}
+
+/**
+ * Dispatch one subcommand. Split out of main() so observability
+ * teardown (flushing --trace output) runs on every exit path,
+ * including failed scenario checks.
+ */
+int
+runCommand(const std::string &command, const Cli &cli)
+{
+    if (command == "list")
+        return cmdList(cli);
+    if (command == "profiles")
+        return cmdProfiles(cli);
+    if (command == "gadgets")
+        return cmdGadgets(cli);
+    if (command == "channels")
+        return cmdChannels(cli);
+    if (command == "sweep")
+        return cmdSweep(cli);
+    if (command == "perf")
+        return cmdPerf(cli);
+    if (command == "analyze")
+        return cmdAnalyze(cli);
+    if (command == "run" || command == "trace")
+        return cmdRun(cli);
+    if (command == "metrics")
+        return cmdMetrics(cli);
+    if (command == "help" || command == "--help" || command == "-h") {
+        usage();
+        return 0;
+    }
+    fatal("unknown command '" + command + "'");
 }
 
 } // namespace
@@ -630,27 +761,32 @@ main(int argc, char **argv)
     try {
         const Cli cli = Cli::parse(argc, argv);
         rejectStray(cli, command);
-        if (command == "list")
-            return cmdList(cli);
-        if (command == "profiles")
-            return cmdProfiles(cli);
-        if (command == "gadgets")
-            return cmdGadgets(cli);
-        if (command == "channels")
-            return cmdChannels(cli);
-        if (command == "sweep")
-            return cmdSweep(cli);
-        if (command == "perf")
-            return cmdPerf(cli);
-        if (command == "analyze")
-            return cmdAnalyze(cli);
-        if (command == "run")
-            return cmdRun(cli);
-        if (command == "help" || command == "--help" || command == "-h") {
-            usage();
-            return 0;
+
+        if (!cli.log_level.empty())
+            setLogLevel(logLevelFromName(cli.log_level));
+        if (!cli.progress_dest.empty())
+            ProgressSink::instance().configure(cli.progress_dest);
+
+        // `trace <scenario>` is `run` with the flight recorder on;
+        // --trace=FILE turns it on for any workload command.
+        const bool tracing =
+            command == "trace" || !cli.trace_file.empty();
+        const std::string trace_out =
+            cli.trace_file.empty() ? "trace.json" : cli.trace_file;
+        if (tracing)
+            TraceRecorder::enable();
+
+        const int rc = runCommand(command, cli);
+
+        // Export even when checks failed: a trace of the failing run
+        // is exactly what the flag was for. Workers have joined by
+        // now, so the ring snapshot is complete and race-free.
+        if (tracing) {
+            TraceRecorder::disable();
+            TraceRecorder::writeChromeTrace(trace_out);
+            HR_LOG(info, "[trace written to %s]\n", trace_out.c_str());
         }
-        fatal("unknown command '" + command + "'");
+        return rc;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "hr_bench: %s\n", e.what());
         return 2;

@@ -5,6 +5,8 @@
 
 #include "exp/batch.hh"
 #include "gadgets/gadget_registry.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/noise.hh"
 #include "util/log.hh"
 
@@ -157,6 +159,7 @@ Channel::prepare(Machine &machine)
 ChannelStats
 Channel::run(Machine &machine, const std::vector<bool> &payload)
 {
+    HR_TRACE_SCOPE("channel", "channel.run");
     fatalIf(!demod_.calibrated(), "channel: run before prepare");
     const int frame_payload = config_.frame.payloadBits;
     const int frames =
@@ -213,8 +216,13 @@ Channel::run(Machine &machine, const std::vector<bool> &payload)
         const FrameDecode decode =
             decodeFrame(config_.frame, received_bits, pos);
         pos = decode.nextPos;
-        if (!decode.synced)
+        if (!decode.synced) {
+            HR_TRACE_INSTANT1("channel", "channel.frame_sync_lost",
+                              "frame", frame);
             continue;
+        }
+        HR_TRACE_INSTANT1("channel", "channel.frame_synced", "frame",
+                          frame);
         const int src_frame = std::min(
             frames - 1, static_cast<int>(decode.syncPos / frame_len));
         stats.framesSynced += 1;
@@ -227,6 +235,18 @@ Channel::run(Machine &machine, const std::vector<bool> &payload)
                                                                     : 0;
         }
     }
+
+    // Logical channel traffic: the run body executes fully under
+    // every execution tier, so these are --jobs/batching invariant.
+    Metrics &met = metrics();
+    met.channelFramesSent.add(
+        static_cast<std::uint64_t>(stats.framesSent));
+    met.channelFramesSynced.add(
+        static_cast<std::uint64_t>(stats.framesSynced));
+    met.channelSymbolsSent.add(
+        static_cast<std::uint64_t>(stats.symbolsSent));
+    met.channelSymbolErrors.add(
+        static_cast<std::uint64_t>(stats.symbolErrors));
     return stats;
 }
 
@@ -247,6 +267,11 @@ Channel::measureSymbols(Machine &machine,
     }
     stats.cycles = machine.now() - t0;
     stats.seconds = machine.toNs(stats.cycles) / 1e9;
+    Metrics &met = metrics();
+    met.channelSymbolsSent.add(
+        static_cast<std::uint64_t>(stats.symbolsSent));
+    met.channelSymbolErrors.add(
+        static_cast<std::uint64_t>(stats.symbolErrors));
     return stats;
 }
 

@@ -1,5 +1,7 @@
 #include "channel/frame.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 
 namespace hr
@@ -33,7 +35,8 @@ hammingEncodeBlock(const bool d[4], std::vector<bool> &out)
         out.push_back(bit);
 }
 
-void
+/** Returns whether the syndrome flipped a bit. */
+bool
 hammingDecodeBlock(const bool w_in[7], bool d[4])
 {
     bool w[7];
@@ -49,6 +52,7 @@ hammingDecodeBlock(const bool w_in[7], bool d[4])
     d[1] = w[4];
     d[2] = w[5];
     d[3] = w[6];
+    return syndrome != 0;
 }
 
 } // namespace
@@ -144,6 +148,7 @@ eccDecode(const FrameConfig &config, const std::vector<bool> &coded)
             "eccDecode: coded length must be exactly codedBits()");
     std::vector<bool> payload;
     payload.reserve(static_cast<std::size_t>(config.payloadBits));
+    std::uint64_t corrections = 0;
     switch (config.ecc) {
       case Ecc::None:
         payload = coded;
@@ -156,6 +161,10 @@ eccDecode(const FrameConfig &config, const std::vector<bool> &coded)
                             bit * config.repeat + r)]
                             ? 1
                             : 0;
+            // The copies disagreed: the majority vote corrected at
+            // least one flipped symbol for this payload bit.
+            if (ones > 0 && ones < config.repeat)
+                ++corrections;
             payload.push_back(2 * ones > config.repeat);
         }
         break;
@@ -167,11 +176,17 @@ eccDecode(const FrameConfig &config, const std::vector<bool> &coded)
             for (int i = 0; i < 7; ++i)
                 w[i] = coded[word + static_cast<std::size_t>(i)];
             bool d[4];
-            hammingDecodeBlock(w, d);
+            if (hammingDecodeBlock(w, d))
+                ++corrections;
             for (int i = 0; i < 4 && base + i < config.payloadBits; ++i)
                 payload.push_back(d[i]);
         }
         break;
+    }
+    if (corrections > 0) {
+        metrics().channelEccBitsCorrected.add(corrections);
+        HR_TRACE_INSTANT1("channel", "channel.ecc_corrected", "bits",
+                          corrections);
     }
     return payload;
 }

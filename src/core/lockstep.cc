@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 #include "util/memory_image.hh"
 
@@ -841,6 +843,11 @@ LockstepEngine::applyForward(std::uint64_t k)
     ++stats_.forwards;
     stats_.skippedPeriods += k;
     stats_.skippedCycles += kc;
+    metrics().lockstepForwards.add();
+    metrics().lockstepPeriodsSkipped.add(k);
+    metrics().lockstepCyclesSkipped.add(kc);
+    HR_TRACE_INSTANT2("lockstep", "lockstep.forward", "periods", k,
+                      "cycles", kc);
 }
 
 void
@@ -868,6 +875,8 @@ LockstepEngine::finalizeBoundary()
     const std::optional<std::uint64_t> k = verify();
     if (!k) {
         ++stats_.refusals;
+        metrics().lockstepRefusals.add();
+        HR_TRACE_INSTANT("lockstep", "lockstep.refusal");
         window_.pop_front();
         if (++failures_ >= kMaxFailures)
             giveUp();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 
 namespace hr
@@ -41,6 +43,11 @@ BatchRunner::BatchRunner(MachinePool &pool, Setup setup, Options options)
 void
 BatchRunner::forEach(std::size_t count, const TrialFn &fn)
 {
+    // Tier tallies also feed the global metrics registry directly, so
+    // every runner — including Channel::runBatched's private one,
+    // whose Stats object is otherwise dropped — shows up in the
+    // unified snapshot.
+    Metrics &met = metrics();
     Machine &m = lease_.machine();
     const std::size_t width = static_cast<std::size_t>(options_.width);
     std::size_t start = 0;
@@ -48,25 +55,34 @@ BatchRunner::forEach(std::size_t count, const TrialFn &fn)
         const std::size_t end = std::min(count, start + width);
 
         // Leader: full simulation, recorded.
-        if (dirty_)
-            m.restore(base_);
         TrialTrace trace;
-        m.beginRecord(trace);
-        fn(m, start);
-        m.endRecord();
+        {
+            HR_TRACE_SCOPE("batch", "batch.leader");
+            if (dirty_)
+                m.restore(base_);
+            m.beginRecord(trace);
+            fn(m, start);
+            m.endRecord();
+        }
         dirty_ = true;
         ++stats_.leaders;
         ++stats_.trials;
+        met.batchLeaders.add();
+        met.batchTrials.add();
 
         if (trace.opaque) {
             // The leader snapshotted/restored or changed backgrounds;
             // the trace can't stand in for execution, so followers run
             // the plain scalar loop.
+            HR_TRACE_INSTANT1("batch", "batch.opaque_fallback",
+                              "followers", end - (start + 1));
             for (std::size_t i = start + 1; i < end; ++i) {
                 m.restore(base_);
                 fn(m, i);
                 ++stats_.scalar;
                 ++stats_.trials;
+                met.batchFollowersScalar.add();
+                met.batchTrials.add();
             }
         } else if (options_.group) {
             // Group-stepped tier: lanes march down the leader's
@@ -80,18 +96,25 @@ BatchRunner::forEach(std::size_t count, const TrialFn &fn)
                 switch (outcome) {
                   case MachineGroup::Outcome::Replayed:
                     ++stats_.replayed;
+                    met.batchFollowersReplayed.add();
                     break;
                   case MachineGroup::Outcome::Stepped:
                     ++stats_.groupStepped;
+                    met.batchFollowersStepped.add();
                     break;
                   case MachineGroup::Outcome::Peeled:
                     ++stats_.diverged;
+                    met.batchFollowersPeeled.add();
+                    HR_TRACE_INSTANT1("batch", "batch.peel_off",
+                                      "trial", i);
                     break;
                   case MachineGroup::Outcome::Scalar:
                     ++stats_.scalar;
+                    met.batchFollowersScalar.add();
                     break;
                 }
                 ++stats_.trials;
+                met.batchTrials.add();
             }
             // The trace dies with this loop iteration; detach so the
             // group never holds a dangling skeleton.
@@ -104,11 +127,17 @@ BatchRunner::forEach(std::size_t count, const TrialFn &fn)
             for (std::size_t i = start + 1; i < end; ++i) {
                 m.beginReplay(trace, base_);
                 fn(m, i);
-                if (m.endReplay())
+                if (m.endReplay()) {
                     ++stats_.replayed;
-                else
+                    met.batchFollowersReplayed.add();
+                } else {
                     ++stats_.diverged;
+                    met.batchFollowersPeeled.add();
+                    HR_TRACE_INSTANT1("batch", "batch.peel_off",
+                                      "trial", i);
+                }
                 ++stats_.trials;
+                met.batchTrials.add();
             }
         }
         start = end;

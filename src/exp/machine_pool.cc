@@ -1,5 +1,8 @@
 #include "exp/machine_pool.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace hr
 {
 
@@ -22,10 +25,16 @@ MachinePool::lease()
         }
     }
     if (slot) {
+        HR_TRACE_SCOPE("pool", "pool.restore");
+        metrics().poolLeases.add();
+        metrics().poolLeasesReused.add();
         slot->machine->restore(slot->base);
         return Lease(*this, std::move(slot));
     }
     // Construct outside the lock so warmups run concurrently.
+    HR_TRACE_SCOPE("pool", "pool.build");
+    metrics().poolLeases.add();
+    metrics().poolMachinesBuilt.add();
     slot = std::make_unique<Slot>();
     slot->machine = std::make_unique<Machine>(config_);
     {

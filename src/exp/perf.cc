@@ -13,6 +13,8 @@
 #include "exp/sweep.hh"
 #include "gadgets/gadget_registry.hh"
 #include "isa/program.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/machine.hh"
 #include "sim/profiles.hh"
 #include "util/log.hh"
@@ -178,6 +180,7 @@ runPerfSuites(const PerfOptions &options)
         "trial_path_speedup", "batch_speedup",
         "batched_trial_path", "divergent_batch_path",
         "group_step_rate",   "decode_cache_hit",
+        "trace_overhead",
         "fig08_quick_wall",  "fig10_quick_wall",
         "channel_symbol_rate", "channel_frame_path",
         "sweep_points",       "analyze_capacity"};
@@ -467,6 +470,43 @@ runPerfSuites(const PerfOptions &options)
         suites.push_back(suite);
     }
 
+    if (wanted("trace_overhead")) {
+        note("trace_overhead");
+        // Flight-recorder cost on the default batched trial path:
+        // the traced rate over the untraced rate (~1.0x). The
+        // disabled-mode cost itself needs no suite of its own —
+        // instrumentation is always compiled in, so any disabled-path
+        // regression already trips trial_path_restore's 15% gate.
+        MachinePool pool(machineConfigForProfile("effective_window"));
+        BatchRunner batch(pool);
+        auto trial_rate = [&]() {
+            return measureRate("trace_overhead", "", budget, [&]() {
+                       batch.forEach(
+                           32, [](Machine &machine, std::size_t) {
+                               racingObservation(machine);
+                           });
+                       return 32;
+                   })
+                .value;
+        };
+        const double off_rate = trial_rate();
+        TraceRecorder::enable();
+        const double on_rate = trial_rate();
+        TraceRecorder::disable();
+        TraceRecorder::clear();
+        PerfSuite suite;
+        suite.name = "trace_overhead";
+        suite.metric =
+            "batched racing-trial rate with the flight recorder "
+            "enabled over the rate with it disabled";
+        suite.unit = "x";
+        suite.value = off_rate > 0 ? on_rate / off_rate : 1.0;
+        suite.iterations = 1;
+        suite.normalize = false;
+        suite.tolerance = kRatioTolerance;
+        suites.push_back(suite);
+    }
+
     if (wanted("fig08_quick_wall")) {
         note("fig08_quick_wall");
         suites.push_back(scenarioWallSuite(
@@ -605,7 +645,11 @@ renderPerfJson(const std::vector<PerfSuite> &suites, bool quick)
         out += "}";
         out += i + 1 < suites.size() ? ",\n" : "\n";
     }
-    out += "  ]\n}\n";
+    // Registry snapshot of the run that produced these numbers.
+    // Placed after the suites array: parsePerfBaseline stops at the
+    // array's closing bracket, so committed baselines stay parseable.
+    out += "  ],\n  \"metrics\": " +
+           renderMetricsJson(metrics().snapshot()) + "\n}\n";
     return out;
 }
 

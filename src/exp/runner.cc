@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 #include "sim/profiles.hh"
 #include "util/log.hh"
 
@@ -33,19 +36,59 @@ ExperimentRunner::run(Scenario &scenario)
                         options_.batch, options_.group,
                         options_.lockstep);
 
+    Metrics &met = metrics();
+    met.runnerScenariosRun.add();
+    met.runnerTrialsRequested.add(static_cast<std::uint64_t>(trials));
+    met.runnerJobsConfigured.set(
+        static_cast<std::uint64_t>(options_.jobs));
+
+    // The verbose "batching" summary is the delta of the batch.*
+    // registry counters over this run, so it covers every BatchRunner
+    // — including Channel::runBatched's private one, whose Stats
+    // object the channel scenarios drop.
+    BatchRunner::Stats tiers0;
+    tiers0.trials = met.batchTrials.value();
+    tiers0.leaders = met.batchLeaders.value();
+    tiers0.replayed = met.batchFollowersReplayed.value();
+    tiers0.groupStepped = met.batchFollowersStepped.value();
+    tiers0.diverged = met.batchFollowersPeeled.value();
+    tiers0.scalar = met.batchFollowersScalar.value();
+
+    ProgressSink &sink = ProgressSink::instance();
+    sink.beginTask(scenario.name().c_str(),
+                   static_cast<std::uint64_t>(trials), options_.jobs);
+
     const auto start = std::chrono::steady_clock::now();
-    ResultTable result = scenario.run(ctx);
+    ResultTable result;
+    {
+        HR_TRACE_SCOPE("runner", "runner.scenario");
+        result = scenario.run(ctx);
+    }
     const auto stop = std::chrono::steady_clock::now();
     lastWallSeconds_ =
         std::chrono::duration<double>(stop - start).count();
+
+    sink.endTask();
 
     result.setScenario(scenario.name(), scenario.title(),
                        scenario.paperClaim());
     result.addMeta("profile", profile);
     result.addMeta("trials", std::to_string(trials));
     result.addMeta("seed", std::to_string(options_.seed));
-    if (options_.verbose)
-        result.addMeta("batching", ctx.batchStats().summary());
+    if (options_.verbose) {
+        BatchRunner::Stats tiers;
+        tiers.trials = met.batchTrials.value() - tiers0.trials;
+        tiers.leaders = met.batchLeaders.value() - tiers0.leaders;
+        tiers.replayed =
+            met.batchFollowersReplayed.value() - tiers0.replayed;
+        tiers.groupStepped =
+            met.batchFollowersStepped.value() - tiers0.groupStepped;
+        tiers.diverged =
+            met.batchFollowersPeeled.value() - tiers0.diverged;
+        tiers.scalar =
+            met.batchFollowersScalar.value() - tiers0.scalar;
+        result.addMeta("batching", tiers.summary());
+    }
     return result;
 }
 

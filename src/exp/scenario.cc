@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/progress.hh"
 #include "sim/profiles.hh"
 #include "util/log.hh"
 
@@ -89,8 +90,10 @@ ScenarioContext::forEachIndex(int count, const IndexBody &body) const
         return;
     const int workers = std::min(jobs_, count);
     if (workers <= 1) {
-        for (int i = 0; i < count; ++i)
+        for (int i = 0; i < count; ++i) {
             body(i);
+            progressAdvance();
+        }
         return;
     }
 
@@ -106,6 +109,7 @@ ScenarioContext::forEachIndex(int count, const IndexBody &body) const
                 return;
             try {
                 body(i);
+                progressAdvance();
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)

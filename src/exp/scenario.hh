@@ -22,6 +22,7 @@
 #include "exp/batch.hh"
 #include "exp/machine_pool.hh"
 #include "exp/result.hh"
+#include "obs/progress.hh"
 #include "sim/machine.hh"
 #include "util/params.hh"
 #include "util/rng.hh"
@@ -184,6 +185,7 @@ class ScenarioContext
                     const int index = static_cast<int>(i);
                     Rng rng(indexSeed(index));
                     out[i] = fn(index, rng, machine);
+                    progressAdvance();
                 });
             batchStats_.add(runner.stats());
             return out;

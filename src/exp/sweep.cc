@@ -7,6 +7,9 @@
 #include "exp/machine_pool.hh"
 #include "exp/scenario.hh"
 #include "gadgets/gadget_registry.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 #include "sim/profiles.hh"
 #include "util/log.hh"
 #include "util/table.hh"
@@ -289,9 +292,14 @@ runSweep(const SweepOptions &options)
     const SweepRows sweep_rows =
         hoistSweepRows(grid, options.grid, options.params);
 
+    ProgressSink &sink = ProgressSink::instance();
+    sink.beginTask(("sweep:" + gadget.name).c_str(),
+                   static_cast<std::uint64_t>(points), options.jobs);
+
     const std::vector<SweepRow> rows = ctx.poolMap(
         machine_pool, points, rowBatchOptions(options, sweep_rows),
         [&](int index, Rng &, Machine &machine) {
+            HR_TRACE_SCOPE("sweep", "sweep.point");
             SweepRow row;
             ParamSet params;
             sweep_rows.pointAt(index, options.grid, row.axisValues,
@@ -324,6 +332,8 @@ runSweep(const SweepOptions &options)
             }
             return row;
         });
+
+    sink.endTask();
 
     std::vector<std::string> headers;
     for (const SweepAxis &axis : options.grid)
@@ -368,8 +378,13 @@ runSweep(const SweepOptions &options)
     // A sweep where no point ran is a failure (exit nonzero in the
     // driver), not a quietly empty success.
     bool any_ok = false;
-    for (const SweepRow &row : rows)
+    std::uint64_t failed = 0;
+    for (const SweepRow &row : rows) {
         any_ok |= row.status == "ok";
+        failed += row.status == "ok" ? 0 : 1;
+    }
+    metrics().sweepPointsTotal.add(static_cast<std::uint64_t>(points));
+    metrics().sweepPointsFailed.add(failed);
     result.addCheck("at least one grid point ran", any_ok);
     return result;
 }
@@ -420,10 +435,16 @@ runChannelSweep(const SweepOptions &options)
     const SweepRows sweep_rows =
         hoistSweepRows(grid, options.grid, options.params);
 
+    ProgressSink &sink = ProgressSink::instance();
+    sink.beginTask(("sweep:" + channel_info.name).c_str(),
+                   static_cast<std::uint64_t>(grid.points),
+                   options.jobs);
+
     const std::vector<ChannelSweepRow> rows = ctx.poolMap(
         machine_pool, grid.points,
         rowBatchOptions(options, sweep_rows),
         [&](int index, Rng &rng, Machine &machine) {
+            HR_TRACE_SCOPE("sweep", "sweep.point");
             ChannelSweepRow row;
             ParamSet params;
             sweep_rows.pointAt(index, options.grid, row.axisValues,
@@ -455,6 +476,8 @@ runChannelSweep(const SweepOptions &options)
             }
             return row;
         });
+
+    sink.endTask();
 
     std::vector<std::string> headers;
     for (const SweepAxis &axis : options.grid)
@@ -503,8 +526,14 @@ runChannelSweep(const SweepOptions &options)
         result.addMeta("batching", ctx.batchStats().summary());
     result.addTable("", std::move(table));
     bool any_ok = false;
-    for (const ChannelSweepRow &row : rows)
+    std::uint64_t failed = 0;
+    for (const ChannelSweepRow &row : rows) {
         any_ok |= row.status == "ok";
+        failed += row.status == "ok" ? 0 : 1;
+    }
+    metrics().sweepPointsTotal.add(
+        static_cast<std::uint64_t>(grid.points));
+    metrics().sweepPointsFailed.add(failed);
     result.addCheck("at least one grid point ran", any_ok);
     return result;
 }

@@ -1,0 +1,138 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+namespace hr
+{
+
+using obs_detail::MetricEntry;
+
+MetricCounter::MetricCounter(Metrics &registry, const char *name, bool logical)
+    : name_(name)
+{
+    MetricEntry entry;
+    entry.kind = MetricEntry::Kind::Counter;
+    entry.logical = logical;
+    entry.counter = this;
+    registry.registerEntry(entry);
+}
+
+MetricGauge::MetricGauge(Metrics &registry, const char *name, bool logical)
+    : name_(name)
+{
+    MetricEntry entry;
+    entry.kind = MetricEntry::Kind::Gauge;
+    entry.logical = logical;
+    entry.gauge = this;
+    registry.registerEntry(entry);
+}
+
+MetricHistogram::MetricHistogram(Metrics &registry, const char *name, bool logical)
+    : name_(name)
+{
+    MetricEntry entry;
+    entry.kind = MetricEntry::Kind::Histogram;
+    entry.logical = logical;
+    entry.histogram = this;
+    registry.registerEntry(entry);
+}
+
+void
+MetricHistogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+void
+Metrics::registerEntry(const MetricEntry &entry)
+{
+    entries_.push_back(entry);
+}
+
+std::vector<MetricSample>
+Metrics::snapshot(bool logicalOnly) const
+{
+    std::vector<MetricSample> rows;
+    rows.reserve(entries_.size());
+    for (const auto &entry : entries_) {
+        if (logicalOnly && !entry.logical)
+            continue;
+        MetricSample row;
+        row.logical = entry.logical;
+        switch (entry.kind) {
+          case MetricEntry::Kind::Counter:
+            row.name = entry.counter->name();
+            row.kind = "counter";
+            row.value = entry.counter->value();
+            break;
+          case MetricEntry::Kind::Gauge:
+            row.name = entry.gauge->name();
+            row.kind = "gauge";
+            row.value = entry.gauge->value();
+            break;
+          case MetricEntry::Kind::Histogram:
+            row.name = entry.histogram->name();
+            row.kind = "histogram";
+            row.value = entry.histogram->count();
+            row.sum = entry.histogram->sum();
+            break;
+        }
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return rows;
+}
+
+void
+Metrics::resetAll()
+{
+    for (const auto &entry : entries_) {
+        switch (entry.kind) {
+          case MetricEntry::Kind::Counter:
+            entry.counter->reset();
+            break;
+          case MetricEntry::Kind::Gauge:
+            entry.gauge->reset();
+            break;
+          case MetricEntry::Kind::Histogram:
+            entry.histogram->reset();
+            break;
+        }
+    }
+}
+
+Metrics &
+metrics()
+{
+    static Metrics instance;
+    return instance;
+}
+
+std::string
+renderMetricsJson(const std::vector<MetricSample> &rows)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &row : rows) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"" + row.name + "\": ";
+        if (row.kind == "histogram") {
+            out += "{\"count\": " + std::to_string(row.value) +
+                   ", \"sum\": " + std::to_string(row.sum) + "}";
+        } else {
+            out += std::to_string(row.value);
+        }
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace hr

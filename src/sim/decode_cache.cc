@@ -1,5 +1,7 @@
 #include "sim/decode_cache.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 
 namespace hr
@@ -32,6 +34,7 @@ DecodeCache::acquire(Program &program)
                         "reset program.id = 0 after mutating code");
 #endif
             ++stats_.hits;
+            metrics().decodeHits.add();
             return by_id->second;
         }
         // The program was mutated in place under its old id: the id is
@@ -39,6 +42,9 @@ DecodeCache::acquire(Program &program)
         // state; never perturbs timing) and fall through to re-resolve.
         // The old entry stays — other programs may carry that content.
         ++stats_.invalidations;
+        metrics().decodeInvalidations.add();
+        HR_TRACE_INSTANT1("decode", "decode.invalidate", "program",
+                          program.id);
         program.id = allocateProgramId();
     }
 
@@ -50,6 +56,9 @@ DecodeCache::acquire(Program &program)
             if (candidate->numRegs == program.numRegs &&
                 sameCode(candidate->code, program.code)) {
                 ++stats_.aliased;
+                metrics().decodeAliases.add();
+                HR_TRACE_INSTANT1("decode", "decode.alias", "program",
+                                  program.id);
                 byId_.emplace(program.id, candidate);
                 return candidate;
             }
@@ -57,6 +66,8 @@ DecodeCache::acquire(Program &program)
     }
 
     ++stats_.misses;
+    metrics().decodeMisses.add();
+    HR_TRACE_INSTANT1("decode", "decode.miss", "program", program.id);
     auto decoded = decodeProgram(program);
     byId_.emplace(program.id, decoded);
     byContent_[hash].push_back(decoded);

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 
 namespace hr
@@ -17,6 +19,21 @@ nextMachineSerial()
 {
     static std::atomic<std::uint64_t> counter{0};
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/**
+ * Logical-run bookkeeping at the public run/coRun boundary: every
+ * execution tier (real, replayed, guided) funnels through here exactly
+ * once per logical run, so these metrics are --jobs/tier invariant.
+ * Reads only raw RunResult fields — never traced Machine ops, which
+ * would append TraceOps to recordings and break replay byte-identity.
+ */
+void
+noteMachineRun(ContextId ctx, const RunResult &result)
+{
+    metrics().machineRuns.add();
+    metrics().machineRunInstrs.observe(result.counters.committedInstrs);
+    HR_TRACE_COUNTER("sim", "sim.cycles", ctx, result.endCycle);
 }
 
 } // namespace
@@ -260,9 +277,12 @@ Machine::run(ContextId ctx, Program &program,
 {
     fatalIf(ctx >= static_cast<ContextId>(config_.contexts),
             "Machine::run: context out of range");
-    if (replayTrace_)
-        return replayRun(ctx, program, nullptr, initial_regs,
-                         max_cycles);
+    if (replayTrace_) {
+        const RunResult result =
+            replayRun(ctx, program, nullptr, initial_regs, max_cycles);
+        noteMachineRun(ctx, result);
+        return result;
+    }
 
     auto decoded = decodeCache_->acquire(program);
     if (guidedTrace_)
@@ -281,6 +301,7 @@ Machine::run(ContextId ctx, Program &program,
         op.result = result;
         recording_->ops.push_back(std::move(op));
     }
+    noteMachineRun(ctx, result);
     return result;
 }
 
@@ -330,9 +351,12 @@ Machine::coRun(ContextId ctx, Program &program,
 {
     fatalIf(ctx >= static_cast<ContextId>(config_.contexts),
             "Machine::run: context out of range");
-    if (replayTrace_)
-        return replayRun(ctx, program, &extras, initial_regs,
-                         max_cycles);
+    if (replayTrace_) {
+        const RunResult result =
+            replayRun(ctx, program, &extras, initial_regs, max_cycles);
+        noteMachineRun(ctx, result);
+        return result;
+    }
 
     TraceOp::RunSpec spec;
     spec.ctx = ctx;
@@ -366,6 +390,7 @@ Machine::coRun(ContextId ctx, Program &program,
         op.result = result;
         recording_->ops.push_back(std::move(op));
     }
+    noteMachineRun(ctx, result);
     return result;
 }
 
@@ -799,6 +824,9 @@ Machine::cacheMisses(int level) const
 void
 Machine::reseedNoise(std::uint64_t mix)
 {
+    // Logical-op count: once per public reseed under every tier
+    // (replay-matched, dead-substituted, diverged, and real).
+    metrics().machineReseeds.add();
     if (replayTrace_) {
         const TraceOp *op = replayExpect(TraceOp::Kind::Reseed);
         if (op && op->mix == mix) {
@@ -865,6 +893,12 @@ Machine::endRecord()
         draws >= recordDraws0_
             ? draws - recordDraws0_
             : std::numeric_limits<std::uint64_t>::max();
+    metrics().machineRecords.add();
+    if (draws >= recordDraws0_)
+        metrics().machineRecordRngDraws.add(draws - recordDraws0_);
+    HR_TRACE_INSTANT2("machine", "machine.record", "ops",
+                      recording_->ops.size(), "rng_draws",
+                      recording_->rngDraws);
     recording_ = nullptr;
 }
 
@@ -903,6 +937,13 @@ Machine::endReplay()
     replaySubs_.clear();
     const bool clean = !replayDiverged_;
     replayDiverged_ = false;
+    if (clean)
+        metrics().machineReplaysClean.add();
+    else
+        metrics().machineReplaysDiverged.add();
+    HR_TRACE_INSTANT2("machine", "machine.replay_end", "matched",
+                      lastReplayMatched_, "clean",
+                      static_cast<std::uint64_t>(clean));
     return clean;
 }
 
@@ -1038,6 +1079,7 @@ void
 Machine::markOpaque()
 {
     recording_->opaque = true;
+    HR_TRACE_INSTANT("machine", "machine.trace_opaque");
 }
 
 const TraceOp *
@@ -1073,6 +1115,9 @@ Machine::divergeReplayImpl()
     replayBase_ = nullptr;
     replayDiverged_ = true;
     replaySubs_.clear();
+
+    HR_TRACE_INSTANT1("machine", "machine.replay_diverge",
+                      "prefix_ops", prefix);
 
     // Re-materialize: the trial logically executed the matched prefix
     // from the base state; do exactly that, for real. Determinism

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 
 namespace hr
@@ -48,18 +50,30 @@ MachineGroup::record(Outcome outcome, std::size_t matched,
     switch (outcome) {
       case Outcome::Replayed:
         ++stats_.replayed;
+        metrics().groupLanesReplayed.add();
+        HR_TRACE_INSTANT1("group", "group.lane_replayed", "matched",
+                          matched);
         break;
       case Outcome::Stepped:
         ++stats_.stepped;
+        metrics().groupLanesStepped.add();
+        HR_TRACE_INSTANT2("group", "group.lane_stepped", "matched",
+                          matched, "subs", subs);
         break;
       case Outcome::Peeled:
         ++stats_.peeled;
+        metrics().groupLanesPeeled.add();
+        HR_TRACE_INSTANT1("group", "group.lane_peeled", "matched",
+                          matched);
         break;
       case Outcome::Scalar:
         ++stats_.scalar;
+        HR_TRACE_INSTANT("group", "group.lane_scalar");
         break;
     }
     stats_.substitutions += subs;
+    if (subs > 0)
+        metrics().groupReseedsSubstituted.add(subs);
     return outcome;
 }
 

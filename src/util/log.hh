@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/log.hh"
+
 namespace hr
 {
 
@@ -31,18 +33,22 @@ fatal(const std::string &msg)
     throw std::runtime_error("fatal: " + msg);
 }
 
-/** Non-fatal suspicious condition. */
+/** Non-fatal suspicious condition (leveled; see obs/log.hh). */
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    HR_LOG(warn, "warn: %s\n", msg.c_str());
 }
 
-/** Normal operating status message. */
+/**
+ * Normal operating status message. Stays on stdout (part of some
+ * commands' expected output) but honors the info log level.
+ */
 inline void
 inform(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (logEnabled(LogLevel::Info))
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 /** panic() unless the invariant holds. */
